@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bench infrastructure implementation.
+ */
+
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace rrm::bench
+{
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opts.windowSeconds = 0.008;
+        } else if (arg == "--window-ms") {
+            opts.windowSeconds = std::atof(next_value().c_str()) / 1e3;
+        } else if (arg == "--scale") {
+            opts.timeScale = std::atof(next_value().c_str());
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next_value().c_str(), nullptr, 10);
+        } else if (arg == "--workloads") {
+            std::stringstream ss(next_value());
+            std::string name;
+            while (std::getline(ss, name, ','))
+                opts.workloads.push_back(name);
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "flags: --quick | --window-ms F | --scale F | "
+                "--seed N | --workloads a,b,c | --verbose\n");
+            std::exit(0);
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+    return opts;
+}
+
+std::vector<trace::Workload>
+BenchOptions::selectedWorkloads() const
+{
+    if (workloads.empty())
+        return trace::standardWorkloads();
+    std::vector<trace::Workload> out;
+    for (const auto &name : workloads)
+        out.push_back(trace::workloadFromName(name));
+    return out;
+}
+
+sys::SystemConfig
+makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
+           const BenchOptions &opts, const ConfigHook &hook)
+{
+    sys::SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = scheme;
+    cfg.windowSeconds = opts.windowSeconds;
+    cfg.timeScale = opts.timeScale;
+    cfg.warmupFraction = opts.warmupFraction;
+    cfg.seed = opts.seed;
+    if (hook)
+        hook(cfg);
+    return cfg;
+}
+
+sys::SimResults
+runOne(const trace::Workload &workload, const sys::Scheme &scheme,
+       const BenchOptions &opts, const ConfigHook &hook)
+{
+    if (opts.verbose) {
+        std::fprintf(stderr, "  running %-12s %s ...\n",
+                     workload.name.c_str(), scheme.name().c_str());
+    }
+    sys::System system(makeConfig(workload, scheme, opts, hook));
+    return system.run();
+}
+
+std::vector<std::vector<sys::SimResults>>
+runMatrix(const std::vector<trace::Workload> &workloads,
+          const std::vector<sys::Scheme> &schemes,
+          const BenchOptions &opts, const ConfigHook &hook)
+{
+    std::vector<std::vector<sys::SimResults>> results;
+    for (const auto &w : workloads) {
+        std::vector<sys::SimResults> row;
+        for (const auto &s : schemes)
+            row.push_back(runOne(w, s, opts, hook));
+        results.push_back(std::move(row));
+    }
+    return results;
+}
+
+double
+geomeanOver(const std::vector<sys::SimResults> &results,
+            const std::function<double(const sys::SimResults &)> &metric)
+{
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const auto &r : results)
+        values.push_back(metric(r));
+    return geomean(values);
+}
+
+void
+printTitle(const std::string &title)
+{
+    printRule();
+    std::printf("%s\n", title.c_str());
+    printRule();
+}
+
+void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace rrm::bench

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared infrastructure for the reproduction benches: command-line
+ * options, the run loop over (workload, scheme) pairs, and table
+ * formatting. Every bench binary regenerates one (or one family of)
+ * paper table/figure — see DESIGN.md section 5 for the index.
+ */
+
+#ifndef RRM_BENCH_BENCH_COMMON_HH
+#define RRM_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace rrm::bench
+{
+
+/** Options common to all reproduction benches. */
+struct BenchOptions
+{
+    /** Simulated window in (scaled) seconds. */
+    double windowSeconds = 0.060;
+
+    /** Retention compression factor (DESIGN.md section 3). */
+    double timeScale = 50.0;
+
+    double warmupFraction = 0.2;
+    std::uint64_t seed = 1;
+
+    /** Workload subset; empty = the full Table VII set. */
+    std::vector<std::string> workloads;
+
+    /** Print per-run progress to stderr. */
+    bool verbose = false;
+
+    /**
+     * Parse argv. Recognized flags:
+     *   --quick            8 ms window (smoke-test the bench)
+     *   --window-ms <f>    window length in milliseconds
+     *   --scale <f>        time scale
+     *   --seed <n>
+     *   --workloads a,b,c  subset of Table VII names
+     *   --verbose
+     */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** Workloads selected by the options. */
+    std::vector<trace::Workload> selectedWorkloads() const;
+};
+
+/** Hook to adjust the SystemConfig before a run (sweep knobs). */
+using ConfigHook = std::function<void(sys::SystemConfig &)>;
+
+/** Build the SystemConfig for one run. */
+sys::SystemConfig makeConfig(const trace::Workload &workload,
+                             const sys::Scheme &scheme,
+                             const BenchOptions &opts,
+                             const ConfigHook &hook = {});
+
+/** Run one (workload, scheme) simulation. */
+sys::SimResults runOne(const trace::Workload &workload,
+                       const sys::Scheme &scheme,
+                       const BenchOptions &opts,
+                       const ConfigHook &hook = {});
+
+/**
+ * Run every selected workload under every scheme.
+ * Results are indexed [workload][scheme].
+ */
+std::vector<std::vector<sys::SimResults>> runMatrix(
+    const std::vector<trace::Workload> &workloads,
+    const std::vector<sys::Scheme> &schemes, const BenchOptions &opts,
+    const ConfigHook &hook = {});
+
+/** Geometric mean of a per-workload metric. */
+double geomeanOver(const std::vector<sys::SimResults> &results,
+                   const std::function<double(const sys::SimResults &)>
+                       &metric);
+
+/** @{ Table formatting helpers. */
+void printTitle(const std::string &title);
+void printRule(int width = 98);
+/** @} */
+
+} // namespace rrm::bench
+
+#endif // RRM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Figure 11 (Section VI-D): RRM aggressiveness
+ * control through hot_threshold in {8, 16, 32, 64}.
+ *
+ * Paper shape: raising the threshold lowers performance and extends
+ * lifetime. hot_threshold = 8 is only 3.5-3.6% below Static-3-SETs
+ * performance while keeping a 5.78-year lifetime; 16 is the default
+ * sweet spot.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace rrm;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts =
+        bench::BenchOptions::parse(argc, argv);
+    const auto workloads = opts.selectedWorkloads();
+    const unsigned thresholds[] = {8, 16, 32, 64};
+
+    bench::printTitle(
+        "Figure 11: controlling RRM aggressiveness via hot_threshold");
+
+    std::printf("%-12s %12s %14s %14s %14s\n", "workload",
+                "threshold", "IPC", "IPC vs S-7", "lifetime (y)");
+
+    std::vector<double> ipc_geo(4, 1.0), life_geo(4, 1.0);
+    std::vector<double> s3_geo_acc;
+    double s3_geo = 1.0, s7_geo = 1.0;
+
+    for (const auto &workload : workloads) {
+        const auto s7 = bench::runOne(
+            workload, sys::Scheme::staticScheme(pcm::WriteMode::Sets7),
+            opts);
+        const auto s3 = bench::runOne(
+            workload, sys::Scheme::staticScheme(pcm::WriteMode::Sets3),
+            opts);
+        s7_geo *= s7.aggregateIpc;
+        s3_geo *= s3.aggregateIpc;
+        for (std::size_t t = 0; t < 4; ++t) {
+            const unsigned threshold = thresholds[t];
+            const auto r = bench::runOne(
+                workload, sys::Scheme::rrmScheme(), opts,
+                [&](sys::SystemConfig &cfg) {
+                    cfg.rrm.hotThreshold = threshold;
+                });
+            ipc_geo[t] *= r.aggregateIpc;
+            life_geo[t] *= r.lifetimeYears;
+            std::printf("%-12s %12u %14.3f %13.1f%% %14.3f\n",
+                        t == 0 ? workload.name.c_str() : "",
+                        threshold, r.aggregateIpc,
+                        100.0 * (r.aggregateIpc / s7.aggregateIpc -
+                                 1.0),
+                        r.lifetimeYears);
+        }
+    }
+
+    bench::printRule();
+    const double n = static_cast<double>(workloads.size());
+    std::printf("%-12s %12s %14s %14s %14s\n", "geomean", "",
+                "IPC", "vs Static-3", "lifetime (y)");
+    for (std::size_t t = 0; t < 4; ++t) {
+        const double ipc = std::pow(ipc_geo[t], 1.0 / n);
+        const double s3 = std::pow(s3_geo, 1.0 / n);
+        std::printf("%-12s %12u %14.3f %13.1f%% %14.3f\n", "",
+                    thresholds[t], ipc, 100.0 * (ipc / s3 - 1.0),
+                    std::pow(life_geo[t], 1.0 / n));
+    }
+    std::printf(
+        "paper: threshold 8 gives +9.0%% IPC over the default 16 and "
+        "a 5.78 y lifetime, only 3.6%% below Static-3;\n"
+        "higher thresholds trade performance for lifetime "
+        "monotonically.\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * PRNG/Zipf sampling, trace generation, cache accesses, RRM
+ * operations, the event queue, and controller scheduling. These bound
+ * the simulator's own throughput (simulated events per host second),
+ * not any paper metric.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "common/random.hh"
+#include "memctrl/controller.hh"
+#include "rrm/region_monitor.hh"
+#include "sim/event_queue.hh"
+#include "trace/generator.hh"
+
+using namespace rrm;
+
+namespace
+{
+
+void
+BM_RandomNext(benchmark::State &state)
+{
+    Random rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RandomNext);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Random rng(1);
+    ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_TraceGeneratorNext(benchmark::State &state)
+{
+    const auto &profile =
+        trace::benchmarkProfile(trace::Benchmark::GemsFDTD);
+    trace::TraceGenerator gen(profile, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGeneratorNext);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    cache::CacheHierarchy hierarchy(cache::defaultHierarchyConfig());
+    Random rng(1);
+    // Warm a small working set so the mix has hits and misses.
+    for (int i = 0; i < 4096; ++i) {
+        const Addr a = rng.uniform(1 << 16) * 64;
+        if (hierarchy.access(0, a, false).llcMiss)
+            hierarchy.fill(0, a, false);
+    }
+    for (auto _ : state) {
+        const Addr a = rng.uniform(1 << 16) * 64;
+        const auto ev = hierarchy.access(0, a, rng.chance(0.3));
+        if (ev.llcMiss)
+            hierarchy.fill(0, a, false);
+    }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_RrmRegistration(benchmark::State &state)
+{
+    EventQueue queue;
+    monitor::RrmConfig cfg;
+    monitor::RegionMonitor rrm(cfg, queue);
+    Random rng(1);
+    ZipfSampler zipf(6144, 0.8);
+    for (auto _ : state) {
+        const Addr addr =
+            zipf.sample(rng) * 4096 + rng.uniform(64) * 64;
+        rrm.registerLlcWrite(addr, true);
+    }
+}
+BENCHMARK(BM_RrmRegistration);
+
+void
+BM_RrmWriteModeDecision(benchmark::State &state)
+{
+    EventQueue queue;
+    monitor::RrmConfig cfg;
+    monitor::RegionMonitor rrm(cfg, queue);
+    Random rng(1);
+    for (int i = 0; i < 100000; ++i)
+        rrm.registerLlcWrite(rng.uniform(6144) * 4096, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rrm.writeModeFor(rng.uniform(8192) * 4096));
+    }
+}
+BENCHMARK(BM_RrmWriteModeDecision);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue queue;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            queue.scheduleAfter(static_cast<Tick>(1 + (i * 37) % 200),
+                                [&] { ++sink; });
+        }
+        queue.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_ControllerRandomReads(benchmark::State &state)
+{
+    EventQueue queue;
+    memctrl::MemoryParams params;
+    memctrl::Controller ctrl(params, queue);
+    Random rng(1);
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            ctrl.enqueueRead(rng.uniform(1_GiB / 64) * 64,
+                             [&](Tick) { ++completed; });
+        }
+        queue.run();
+    }
+    benchmark::DoNotOptimize(completed);
+}
+BENCHMARK(BM_ControllerRandomReads);
+
+} // namespace
+
+BENCHMARK_MAIN();

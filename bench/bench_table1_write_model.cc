@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Table I: latency, current, normalized energy, and
+ * retention per MLC PCM write mode — both the calibrated constants the
+ * simulator uses and the analytic drift model that regenerates the
+ * retention trade-off from first principles.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "pcm/drift_model.hh"
+#include "pcm/energy_model.hh"
+
+using namespace rrm;
+
+int
+main(int argc, char **argv)
+{
+    (void)bench::BenchOptions::parse(argc, argv);
+
+    bench::printTitle(
+        "Table I: write latency vs. retention trade-off in MLC PCM");
+
+    const pcm::DriftModel drift;
+    const pcm::EnergyModel energy;
+
+    std::printf("%-14s %9s %9s %12s %14s %14s %12s %12s\n",
+                "write type", "SET(uA)", "N.energy", "latency(ns)",
+                "retention(s)", "analytic(s)", "guard(dec)",
+                "E/block(nJ)");
+    for (pcm::WriteMode mode : pcm::allWriteModes) {
+        const auto &p = pcm::writeModeParams(mode);
+        std::printf(
+            "%-14s %9.0f %9.3f %12llu %14.1f %14.1f %12.3f %12.1f\n",
+            (std::string(pcm::writeModeName(mode)) + "-Write").c_str(),
+            p.setCurrentUa, p.normalizedEnergy,
+            static_cast<unsigned long long>(p.latency / tickPerNs),
+            p.retentionSeconds,
+            drift.retentionSeconds(mode),
+            drift.guardband(pcm::setIterations(mode)),
+            energy.blockWriteEnergy(mode) * 1e9);
+    }
+    bench::printRule();
+    std::printf(
+        "latency = 100 ns RESET + N x 150 ns SET (exact).\n"
+        "'retention' is the calibrated Table I column the simulator\n"
+        "uses; 'analytic' is this repo's drift model (log-linear band\n"
+        "narrowing, alpha = %.2f), within ~1.5x everywhere.\n"
+        "paper: 7-SETs 3054.9 s @ 1150 ns ... 3-SETs 2.01 s @ 550 ns.\n",
+        drift.params().alpha);
+    return 0;
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cache array implementation.
+ */
+
+#include "cache.hh"
+
+namespace rrm::cache
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    RRM_ASSERT(isPowerOfTwo(config_.lineBytes), "line size must be 2^n");
+    RRM_ASSERT(config_.assoc >= 1, "associativity must be >= 1");
+    RRM_ASSERT(config_.sizeBytes %
+                       (std::uint64_t(config_.lineBytes) * config_.assoc) ==
+                   0,
+               "cache '", config_.name,
+               "' size must be a whole number of sets");
+    numSets_ =
+        config_.sizeBytes / (std::uint64_t(config_.lineBytes) * config_.assoc);
+    RRM_ASSERT(isPowerOfTwo(numSets_), "cache '", config_.name,
+               "' set count must be a power of two");
+    lineShift_ = floorLog2(config_.lineBytes);
+    lines_.assign(numSets_ * config_.assoc, Line{});
+    policy_ = makeReplacementPolicy(config_.replacement);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line) {
+        line->stamp = policy_->onTouch(line->stamp);
+        if (statHits_)
+            ++*statHits_;
+        return true;
+    }
+    if (statMisses_)
+        ++*statMisses_;
+    return false;
+}
+
+Victim
+Cache::allocate(Addr addr, int owner)
+{
+    RRM_ASSERT(!contains(addr), "allocate() of a present line in '",
+               config_.name, "'");
+    const std::uint64_t set = setIndex(addr);
+    Line *base = &lines_[set * config_.assoc];
+
+    Line *slot = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+
+    Victim victim;
+    if (!slot) {
+        // All ways valid: consult the replacement policy.
+        std::uint64_t stamps[64];
+        RRM_ASSERT(config_.assoc <= 64, "associativity above stamp buffer");
+        for (unsigned w = 0; w < config_.assoc; ++w)
+            stamps[w] = base[w].stamp;
+        const unsigned w = policy_->victim(stamps, config_.assoc);
+        slot = &base[w];
+        victim.valid = true;
+        victim.addr = slot->tag << lineShift_;
+        victim.dirty = slot->dirty;
+        victim.owner = slot->owner;
+        if (statEvictions_)
+            ++*statEvictions_;
+        if (victim.dirty && statDirtyEvictions_)
+            ++*statDirtyEvictions_;
+    }
+
+    slot->tag = tagOf(addr);
+    slot->valid = true;
+    slot->dirty = false;
+    slot->owner = owner;
+    slot->stamp = policy_->onInsert();
+    return victim;
+}
+
+void
+Cache::setDirty(Addr addr)
+{
+    Line *line = findLine(addr);
+    RRM_ASSERT(line, "setDirty() on absent line in '", config_.name, "'");
+    line->dirty = true;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    RRM_ASSERT(line, "isDirty() on absent line in '", config_.name, "'");
+    return line->dirty;
+}
+
+int
+Cache::owner(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    RRM_ASSERT(line, "owner() on absent line in '", config_.name, "'");
+    return line->owner;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+}
+
+std::uint64_t
+Cache::numValidLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+void
+Cache::regStats(stats::StatGroup &group)
+{
+    auto &g = group.addChild(config_.name);
+    statHits_ = &g.addScalar("hits", "lookups that hit");
+    statMisses_ = &g.addScalar("misses", "lookups that missed");
+    statEvictions_ = &g.addScalar("evictions", "lines displaced");
+    statDirtyEvictions_ =
+        &g.addScalar("dirtyEvictions", "dirty lines displaced");
+}
+
+} // namespace rrm::cache

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * CacheHierarchy implementation.
+ */
+
+#include "hierarchy.hh"
+
+namespace rrm::cache
+{
+
+HierarchyConfig
+defaultHierarchyConfig()
+{
+    // Table IV, 2 GHz core clock: L1 2 cycles, L2 12, LLC 35.
+    HierarchyConfig cfg;
+    cfg.numCores = 4;
+
+    cfg.l1.name = "l1d";
+    cfg.l1.sizeBytes = 32_KiB;
+    cfg.l1.assoc = 4;
+    cfg.l1.hitLatency = 1_ns; // 2 cycles @ 2 GHz
+    cfg.l1.mshrs = 8;
+
+    cfg.l2.name = "l2";
+    cfg.l2.sizeBytes = 256_KiB;
+    cfg.l2.assoc = 8;
+    cfg.l2.hitLatency = 6_ns; // 12 cycles
+    cfg.l2.mshrs = 12;
+
+    cfg.llc.name = "llc";
+    cfg.llc.sizeBytes = 6_MiB;
+    cfg.llc.assoc = 24;
+    cfg.llc.hitLatency = 17500_ps; // 35 cycles
+    cfg.llc.mshrs = 32;
+
+    return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config)
+{
+    RRM_ASSERT(config_.numCores >= 1, "need at least one core");
+    RRM_ASSERT(config_.l1.lineBytes == config_.l2.lineBytes &&
+                   config_.l2.lineBytes == config_.llc.lineBytes,
+               "all levels must share one line size");
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        CacheConfig l1 = config_.l1;
+        CacheConfig l2 = config_.l2;
+        l1.name = config_.l1.name + std::to_string(c);
+        l2.name = config_.l2.name + std::to_string(c);
+        l1s_.push_back(std::make_unique<Cache>(l1));
+        l2s_.push_back(std::make_unique<Cache>(l2));
+    }
+    llc_ = std::make_unique<Cache>(config_.llc);
+}
+
+HierarchyEvents
+CacheHierarchy::access(unsigned core, Addr addr, bool is_write)
+{
+    RRM_ASSERT(core < config_.numCores, "core index out of range");
+    addr = llc_->lineAddr(addr);
+
+    HierarchyEvents ev;
+    Cache &l1 = *l1s_[core];
+    Cache &l2 = *l2s_[core];
+
+    ev.latency += config_.l1.hitLatency;
+    if (l1.access(addr)) {
+        ev.hitLevel = 1;
+        if (is_write)
+            l1.setDirty(addr);
+        return ev;
+    }
+
+    ev.latency += config_.l2.hitLatency;
+    if (l2.access(addr)) {
+        ev.hitLevel = 2;
+        fillIntoL1(core, addr, ev);
+        if (is_write)
+            l1.setDirty(addr);
+        return ev;
+    }
+
+    ev.latency += config_.llc.hitLatency;
+    if (llc_->access(addr)) {
+        ev.hitLevel = 3;
+        fillIntoL2(core, addr, ev);
+        fillIntoL1(core, addr, ev);
+        if (is_write)
+            l1.setDirty(addr);
+        return ev;
+    }
+
+    ev.llcMiss = true;
+    return ev;
+}
+
+HierarchyEvents
+CacheHierarchy::fill(unsigned core, Addr addr, bool is_write)
+{
+    RRM_ASSERT(core < config_.numCores, "core index out of range");
+    addr = llc_->lineAddr(addr);
+
+    HierarchyEvents ev;
+    RRM_ASSERT(!llc_->contains(addr),
+               "fill() for a line already in the LLC");
+
+    const Victim victim = llc_->allocate(addr, static_cast<int>(core));
+    if (victim.valid) {
+        // Back-invalidate upper-level copies to preserve inclusion; a
+        // dirtier upper copy upgrades the outgoing line. Any core may
+        // hold a copy (shared LLC hits fill other cores' L1/L2), so
+        // sweep them all.
+        bool dirty = victim.dirty;
+        for (unsigned c = 0; c < config_.numCores; ++c) {
+            dirty |= l2s_[c]->invalidate(victim.addr);
+            dirty |= l1s_[c]->invalidate(victim.addr);
+        }
+        if (dirty) {
+            ev.memWrite = true;
+            ev.memWriteAddr = victim.addr;
+        }
+    }
+
+    fillIntoL2(core, addr, ev);
+    fillIntoL1(core, addr, ev);
+    if (is_write)
+        l1s_[core]->setDirty(addr);
+    return ev;
+}
+
+void
+CacheHierarchy::fillIntoL2(unsigned core, Addr addr, HierarchyEvents &ev)
+{
+    Cache &l1 = *l1s_[core];
+    Cache &l2 = *l2s_[core];
+
+    const Victim victim = l2.allocate(addr);
+    if (!victim.valid)
+        return;
+
+    // The L1 copy (if any) must leave too; it may be dirtier.
+    bool dirty = victim.dirty;
+    dirty |= l1.invalidate(victim.addr);
+
+    if (dirty) {
+        // Write the victim back into its LLC line: this is the LLC
+        // write the RRM registers, with the line's previous dirty bit.
+        RRM_ASSERT(llc_->contains(victim.addr),
+                   "inclusion broken: L2 victim absent from LLC");
+        const bool was_dirty = llc_->isDirty(victim.addr);
+        llc_->access(victim.addr); // promote on write
+        llc_->setDirty(victim.addr);
+        RRM_ASSERT(!ev.registration,
+                   "one operation produced two LLC writes");
+        ev.registration = true;
+        ev.registrationAddr = victim.addr;
+        ev.registrationWasDirty = was_dirty;
+    }
+}
+
+void
+CacheHierarchy::fillIntoL1(unsigned core, Addr addr, HierarchyEvents &ev)
+{
+    (void)ev;
+    Cache &l1 = *l1s_[core];
+    Cache &l2 = *l2s_[core];
+
+    const Victim victim = l1.allocate(addr);
+    if (victim.valid && victim.dirty) {
+        // L1 ⊆ L2: the victim's line is present in L2.
+        RRM_ASSERT(l2.contains(victim.addr),
+                   "inclusion broken: L1 victim absent from L2");
+        l2.access(victim.addr);
+        l2.setDirty(victim.addr);
+    }
+}
+
+void
+CacheHierarchy::regStats(stats::StatGroup &group)
+{
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1s_[c]->regStats(group);
+        l2s_[c]->regStats(group);
+    }
+    llc_->regStats(group);
+}
+
+bool
+CacheHierarchy::checkInclusion() const
+{
+    bool ok = true;
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1s_[c]->forEachValidLine([&](Addr a) {
+            if (!l2s_[c]->contains(a))
+                ok = false;
+        });
+        l2s_[c]->forEachValidLine([&](Addr a) {
+            if (!llc_->contains(a))
+                ok = false;
+        });
+    }
+    return ok;
+}
+
+} // namespace rrm::cache

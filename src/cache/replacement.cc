@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Replacement policy implementations.
+ */
+
+#include "replacement.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace rrm::cache
+{
+
+namespace
+{
+
+/** LRU: stamps are a monotonically increasing use counter. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint64_t onInsert() override { return ++clock_; }
+    std::uint64_t onTouch(std::uint64_t) override { return ++clock_; }
+
+    unsigned
+    victim(const std::uint64_t *stamps, unsigned num_ways) override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < num_ways; ++w)
+            if (stamps[w] < stamps[best])
+                best = w;
+        return best;
+    }
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/** FIFO: stamp only advances on insertion. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint64_t onInsert() override { return ++clock_; }
+    std::uint64_t onTouch(std::uint64_t old_stamp) override
+    {
+        return old_stamp;
+    }
+
+    unsigned
+    victim(const std::uint64_t *stamps, unsigned num_ways) override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < num_ways; ++w)
+            if (stamps[w] < stamps[best])
+                best = w;
+        return best;
+    }
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/** Random: stamps unused; victim drawn uniformly. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::uint64_t onInsert() override { return 0; }
+    std::uint64_t onTouch(std::uint64_t old_stamp) override
+    {
+        return old_stamp;
+    }
+
+    unsigned
+    victim(const std::uint64_t *, unsigned num_ways) override
+    {
+        return static_cast<unsigned>(rng_.uniform(num_ways));
+    }
+
+  private:
+    Random rng_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplacementKind::FIFO:
+        return std::make_unique<FifoPolicy>();
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    panic("invalid replacement kind");
+}
+
+} // namespace rrm::cache

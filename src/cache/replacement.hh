@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures.
+ *
+ * The same policies drive the caches and the RRM's tag array (which
+ * the paper manages "just like a low-level cache" with LRU).
+ */
+
+#ifndef RRM_CACHE_REPLACEMENT_HH
+#define RRM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace rrm::cache
+{
+
+/** Supported replacement policies. */
+enum class ReplacementKind : std::uint8_t
+{
+    LRU = 0,  ///< least-recently-used (paper default)
+    FIFO,     ///< insertion order
+    Random,   ///< pseudo-random victim
+};
+
+/**
+ * Replacement policy over per-way "stamps".
+ *
+ * The owning structure stores one uint64 stamp per way; the policy
+ * decides what to write on insertion/touch and which way to evict.
+ * This keeps policy state inline with the tag array (no per-policy
+ * allocations on the hot path).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Stamp for a newly inserted way. */
+    virtual std::uint64_t onInsert() = 0;
+
+    /** Stamp for a way that just hit (default: keep old stamp). */
+    virtual std::uint64_t onTouch(std::uint64_t old_stamp) = 0;
+
+    /**
+     * Pick the victim among `num_ways` stamps.
+     * @param stamps   Stamps of the candidate ways (all valid).
+     * @param num_ways Number of candidates (>= 1).
+     * @return Index of the chosen victim in [0, num_ways).
+     */
+    virtual unsigned victim(const std::uint64_t *stamps,
+                            unsigned num_ways) = 0;
+};
+
+/** Instantiate a policy of the given kind. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplacementKind kind, std::uint64_t seed = 0);
+
+} // namespace rrm::cache
+
+#endif // RRM_CACHE_REPLACEMENT_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Histogram helpers used for workload characterization (e.g. the
+ * Table III write-interval distribution) and statistics reporting.
+ */
+
+#ifndef RRM_COMMON_HISTOGRAM_HH
+#define RRM_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrm
+{
+
+/**
+ * Histogram over user-supplied bucket boundaries.
+ *
+ * Boundaries b0 < b1 < ... < bk define buckets
+ * [-inf,b0), [b0,b1), ..., [bk,+inf) — i.e. k+2 buckets for k+1
+ * boundaries. Samples are uint64 (ticks, counts, ...).
+ */
+class BoundedHistogram
+{
+  public:
+    /** @param boundaries Strictly increasing bucket boundaries. */
+    explicit BoundedHistogram(std::vector<std::uint64_t> boundaries);
+
+    /** Add one sample with the given weight. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets (boundaries + 1). */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Count in bucket i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total weight added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of total weight in bucket i (0 if empty histogram). */
+    double fraction(std::size_t i) const;
+
+    /** Human-readable label of bucket i, e.g. "[1e6, 1e7)". */
+    std::string bucketLabel(std::size_t i) const;
+
+    /** Reset all counts. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> boundaries_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Streaming summary of a scalar sample stream: count / sum / min /
+ * max / mean / population variance via Welford's algorithm.
+ */
+class SampleStats
+{
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+    void reset() { *this = SampleStats(); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace rrm
+
+#endif // RRM_COMMON_HISTOGRAM_HH

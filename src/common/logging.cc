@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the warn/inform output sinks.
+ */
+
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <execinfo.h>
+#include <iostream>
+
+namespace rrm
+{
+namespace log_detail
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> warnCounter{0};
+std::atomic<bool> quietMode{false};
+
+} // namespace
+
+void
+emitWarn(const std::string &msg)
+{
+    warnCounter.fetch_add(1, std::memory_order_relaxed);
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << '\n';
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::cout << "info: " << msg << '\n';
+}
+
+std::uint64_t
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+void
+maybeAbort(const std::string &msg)
+{
+    if (std::getenv("RRM_ABORT_ON_PANIC")) {
+        std::cerr << msg << '\n';
+        void *frames[64];
+        const int n = backtrace(frames, 64);
+        backtrace_symbols_fd(frames, n, 2);
+        std::abort();
+    }
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace log_detail
+} // namespace rrm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Severity model (mirrors gem5's base/logging.hh):
+ *  - panic():  an internal invariant was violated; a simulator bug.
+ *              Aborts (throws PanicError so tests can assert on it).
+ *  - fatal():  the user asked for something impossible (bad config).
+ *              Throws FatalError.
+ *  - warn():   something questionable happened but simulation continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef RRM_COMMON_LOGGING_HH
+#define RRM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rrm
+{
+
+/** Error thrown by fatal(): user-caused, unrecoverable condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Error thrown by panic(): internal simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace log_detail
+{
+
+/** Concatenate a parameter pack into one message string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** abort() instead of throwing when RRM_ABORT_ON_PANIC is set. */
+void maybeAbort(const std::string &msg);
+
+/** Count of warnings emitted so far (inspectable from tests). */
+std::uint64_t warnCount();
+
+/** Silence / restore warn+inform output (used by tests and sweeps). */
+void setQuiet(bool quiet);
+
+} // namespace log_detail
+
+/** Report an internal simulator bug and abort the simulation. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    const std::string msg =
+        "panic: " + log_detail::concat(std::forward<Args>(args)...);
+    log_detail::maybeAbort(msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error (bad configuration, etc.). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(
+        "fatal: " + log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::emitWarn(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a normal status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    log_detail::emitInform(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define RRM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rrm::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                         ":", __LINE__, ": ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace rrm
+
+#endif // RRM_COMMON_LOGGING_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * CoreModel implementation.
+ */
+
+#include "core_model.hh"
+
+namespace rrm::cpu
+{
+
+CoreModel::CoreModel(unsigned id, const CoreParams &params,
+                     trace::TraceGenerator generator,
+                     cache::CacheHierarchy &hierarchy, CorePort &port,
+                     EventQueue &queue, Addr addr_base)
+    : id_(id),
+      params_(params),
+      generator_(std::move(generator)),
+      hierarchy_(hierarchy),
+      port_(port),
+      queue_(queue),
+      addrBase_(addr_base)
+{
+    RRM_ASSERT(params_.width >= 1, "core width must be positive");
+    RRM_ASSERT(params_.robSize >= 1, "ROB must be non-empty");
+    RRM_ASSERT(params_.maxOutstandingMisses >= 1,
+               "need at least one MSHR");
+}
+
+void
+CoreModel::start()
+{
+    scheduleAdvance(queue_.now());
+}
+
+void
+CoreModel::scheduleAdvance(Tick when)
+{
+    if (advanceScheduled_)
+        return;
+    advanceScheduled_ = true;
+    queue_.schedule(
+        when, [this] { advance(); }, EventPriority::CpuTick);
+}
+
+std::uint64_t
+CoreModel::oldestOutstandingLoad() const
+{
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (const auto &[line, fill] : outstanding_) {
+        if (!fill.loadInstrs.empty() && fill.loadInstrs.front() < oldest)
+            oldest = fill.loadInstrs.front();
+    }
+    return oldest;
+}
+
+bool
+CoreModel::robFull() const
+{
+    const std::uint64_t oldest = oldestOutstandingLoad();
+    if (oldest == ~std::uint64_t(0))
+        return false;
+    return instrCount_ - oldest >= params_.robSize;
+}
+
+bool
+CoreModel::processPendingMiss()
+{
+    RRM_ASSERT(hasPending_, "no pending miss to process");
+
+    const auto it = outstanding_.find(pendingLine_);
+    if (it != outstanding_.end()) {
+        // MSHR merge: piggyback on the in-flight fill.
+        it->second.isWrite |= pendingIsWrite_;
+        if (!pendingIsWrite_)
+            it->second.loadInstrs.push_back(pendingInstr_);
+        hasPending_ = false;
+        return true;
+    }
+
+    if (outstanding_.size() >= params_.maxOutstandingMisses) {
+        stall_ = Stall::Mshr;
+        if (statMshrStalls_)
+            ++*statMshrStalls_;
+        return false;
+    }
+
+    if (!port_.requestFill(id_, pendingLine_, pendingIsWrite_,
+                           localTime_)) {
+        stall_ = Stall::Resource;
+        if (statResourceStalls_)
+            ++*statResourceStalls_;
+        return false;
+    }
+
+    OutstandingFill &fill = outstanding_[pendingLine_];
+    fill.isWrite = pendingIsWrite_;
+    if (!pendingIsWrite_)
+        fill.loadInstrs.push_back(pendingInstr_);
+    hasPending_ = false;
+    return true;
+}
+
+void
+CoreModel::advance()
+{
+    advanceScheduled_ = false;
+    if (localTime_ < queue_.now())
+        localTime_ = queue_.now();
+    const Tick quantum_start = localTime_;
+
+    while (true) {
+        if (stall_ != Stall::None)
+            return;
+
+        if (hasPending_ && !processPendingMiss())
+            return;
+
+        if (robFull()) {
+            stall_ = Stall::Rob;
+            if (statRobStalls_)
+                ++*statRobStalls_;
+            return;
+        }
+
+        if (localTime_ - quantum_start > params_.quantum) {
+            scheduleAdvance(localTime_);
+            return;
+        }
+
+        const trace::TraceRecord rec = generator_.next();
+        instrCount_ += rec.gapInstructions;
+        localTime_ +=
+            (Tick(rec.gapInstructions) * params_.cycle) / params_.width;
+        ++instrCount_;
+
+        const bool is_write = rec.type == trace::AccessType::Write;
+        if (statMemOps_)
+            ++*statMemOps_;
+        if (is_write) {
+            if (statStores_)
+                ++*statStores_;
+        } else if (statLoads_) {
+            ++*statLoads_;
+        }
+
+        const cache::HierarchyEvents ev =
+            hierarchy_.access(id_, addrBase_ + rec.addr, is_write);
+
+        if (!ev.llcMiss) {
+            // Loads pay a partial (OoO-hidden) hit penalty; stores
+            // complete through the store buffer.
+            if (!is_write) {
+                if (ev.hitLevel == 2) {
+                    localTime_ += params_.l2HitPenalty * params_.cycle;
+                } else if (ev.hitLevel == 3) {
+                    localTime_ += params_.llcHitPenalty * params_.cycle;
+                }
+            }
+            if (ev.registration || ev.memWrite)
+                port_.handleAccessEvents(id_, ev, localTime_);
+            continue;
+        }
+
+        hasPending_ = true;
+        pendingLine_ = hierarchy_.llc().lineAddr(addrBase_ + rec.addr);
+        pendingIsWrite_ = is_write;
+        pendingInstr_ = instrCount_;
+    }
+}
+
+void
+CoreModel::onFillComplete(Addr line)
+{
+    const auto it = outstanding_.find(line);
+    RRM_ASSERT(it != outstanding_.end(),
+               "fill completion for an unknown line");
+
+    // Fill the hierarchy now that the data arrived; route any dirty
+    // LLC victim / registration to the system.
+    const cache::HierarchyEvents ev =
+        hierarchy_.fill(id_, line, it->second.isWrite);
+    port_.handleAccessEvents(id_, ev, queue_.now());
+
+    outstanding_.erase(it);
+
+    switch (stall_) {
+      case Stall::Rob:
+        if (!robFull()) {
+            stall_ = Stall::None;
+            if (localTime_ < queue_.now())
+                localTime_ = queue_.now();
+            scheduleAdvance(queue_.now());
+        }
+        break;
+      case Stall::Mshr:
+        stall_ = Stall::None;
+        if (localTime_ < queue_.now())
+            localTime_ = queue_.now();
+        scheduleAdvance(queue_.now());
+        break;
+      case Stall::Resource:
+      case Stall::None:
+        break;
+    }
+}
+
+void
+CoreModel::resume()
+{
+    if (stall_ != Stall::Resource)
+        return;
+    stall_ = Stall::None;
+    if (localTime_ < queue_.now())
+        localTime_ = queue_.now();
+    scheduleAdvance(queue_.now());
+}
+
+void
+CoreModel::regStats(stats::StatGroup &group)
+{
+    auto &g = group.addChild("core" + std::to_string(id_));
+    statInstructions_ = &g.addScalar("instructions", "(unused; see ipc)");
+    statMemOps_ = &g.addScalar("memOps", "memory instructions executed");
+    statLoads_ = &g.addScalar("loads", "load instructions");
+    statStores_ = &g.addScalar("stores", "store instructions");
+    statRobStalls_ = &g.addScalar("robStalls", "stalls on a full ROB");
+    statMshrStalls_ = &g.addScalar("mshrStalls", "stalls on full MSHRs");
+    statResourceStalls_ = &g.addScalar(
+        "resourceStalls", "stalls on memory-system backpressure");
+}
+
+} // namespace rrm::cpu

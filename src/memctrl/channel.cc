@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Channel scheduler implementation.
+ */
+
+#include "channel.hh"
+
+#include <algorithm>
+
+namespace rrm::memctrl
+{
+
+namespace
+{
+
+/** Read access time at the bank (excluding bus transfer). */
+Tick
+readAccessTime(const MemoryParams &p, bool row_hit)
+{
+    return row_hit ? p.tCAS : p.tRCD + p.tCAS;
+}
+
+} // namespace
+
+Channel::Channel(unsigned index, const MemoryParams &params,
+                 EventQueue &queue)
+    : index_(index), params_(params), queue_(queue), map_(params)
+{
+    banks_.resize(params_.banksPerChannel);
+    activateHistory_.clear();
+}
+
+bool
+Channel::enqueueRead(Request req)
+{
+    if (readQ_.size() >= params_.readQueueCap)
+        return false;
+    req.enqueueTick = queue_.now();
+    readQ_.push_back(std::move(req));
+    trySchedule();
+    return true;
+}
+
+bool
+Channel::enqueueWrite(Request req)
+{
+    if (writeQ_.size() >= params_.writeQueueCap)
+        return false;
+    req.enqueueTick = queue_.now();
+    writeQ_.push_back(std::move(req));
+    trySchedule();
+    return true;
+}
+
+bool
+Channel::enqueueRefresh(Request req)
+{
+    if (refreshQ_.size() >= params_.refreshQueueCap)
+        return false;
+    req.enqueueTick = queue_.now();
+    refreshQ_.push_back(std::move(req));
+    trySchedule();
+    return true;
+}
+
+Tick
+Channel::bankReadyForRead(const Bank &bank, Tick t) const
+{
+    if (bank.busyUntil <= t)
+        return t;
+    if (bank.writing && params_.writePausing) {
+        // Pause points: end of RESET, then end of each SET pulse.
+        const Tick first = bank.writePulseStart + pcm::resetPulse;
+        Tick boundary = first;
+        if (t > boundary) {
+            const Tick k =
+                divCeil(t - first, pcm::setPulse);
+            boundary = first + k * pcm::setPulse;
+        }
+        // No pause point after the final SET: just wait it out.
+        if (boundary >= bank.busyUntil)
+            return bank.busyUntil;
+        return boundary;
+    }
+    return bank.busyUntil;
+}
+
+Tick
+Channel::bankReadyForWrite(const Bank &bank, Tick t) const
+{
+    return std::max(bank.busyUntil, t);
+}
+
+Tick
+Channel::fawReady(Tick t) const
+{
+    if (activateHistory_.size() < 4)
+        return t;
+    const Tick oldest = activateHistory_[activateIdx_];
+    return std::max(t, oldest + params_.tFAW);
+}
+
+void
+Channel::recordActivate(Tick t)
+{
+    if (activateHistory_.size() < 4) {
+        activateHistory_.push_back(t);
+        return;
+    }
+    activateHistory_[activateIdx_] = t;
+    activateIdx_ = (activateIdx_ + 1) % 4;
+}
+
+bool
+Channel::tryIssueRead(const Request &req, Tick &earliest)
+{
+    const Tick now = queue_.now();
+    const Location loc = map_.decode(req.addr);
+    Bank &bank = banks_[loc.bank];
+    if (bank.writing && bank.busyUntil <= now) {
+        // The write is done but its completion event fires later this
+        // tick; retry right after it.
+        earliest = std::min(earliest, now);
+        return false;
+    }
+    const bool row_hit = bank.hasOpenRow && bank.openRow == loc.rowId;
+    const Tick access = readAccessTime(params_, row_hit);
+
+    Tick start = bankReadyForRead(bank, now);
+    if (!row_hit)
+        start = fawReady(start);
+    // The data burst needs the channel bus right after the access.
+    if (busFreeAt_ > start + access)
+        start = busFreeAt_ - access;
+
+    if (start > now) {
+        earliest = std::min(earliest, start);
+        return false;
+    }
+
+    // Issue now.
+    const bool pausing = bank.writing && bank.busyUntil > now;
+    if (pausing) {
+        // Push the interrupted write's remaining pulses back.
+        bank.writePulseStart += access;
+        bank.busyUntil += access;
+        if (statWritePauses_)
+            ++*statWritePauses_;
+    } else {
+        bank.busyUntil = now + access;
+    }
+    if (!row_hit) {
+        recordActivate(now);
+        bank.hasOpenRow = true;
+        bank.openRow = loc.rowId;
+    }
+    busFreeAt_ = now + access + params_.burstTime();
+
+    if (statReads_)
+        ++*statReads_;
+    if (row_hit && statRowHits_)
+        ++*statRowHits_;
+
+    const Tick finish = now + access + params_.burstTime();
+    if (statReadLatency_)
+        statReadLatency_->add(finish - req.enqueueTick);
+    Request copy = req;
+    queue_.schedule(
+        finish,
+        [this, copy = std::move(copy), finish] {
+            complete(copy, finish);
+            trySchedule();
+        },
+        EventPriority::MemoryResponse);
+    return true;
+}
+
+bool
+Channel::tryIssueWrite(const Request &req, Tick &earliest,
+                       bool is_refresh)
+{
+    const Tick now = queue_.now();
+    const Location loc = map_.decode(req.addr);
+    Bank &bank = banks_[loc.bank];
+    if (bank.writing && bank.busyUntil <= now) {
+        earliest = std::min(earliest, now);
+        return false;
+    }
+
+    Tick start = bankReadyForWrite(bank, now);
+    if (!is_refresh && busFreeAt_ > start)
+        start = busFreeAt_; // incoming data burst needs the bus
+
+    if (start > now) {
+        earliest = std::min(earliest, start);
+        return false;
+    }
+
+    const Tick wp = pcm::writeLatency(req.mode);
+    Tick pulse_start;
+    if (is_refresh) {
+        // Internal read (array access) then rewrite; no bus transfer.
+        pulse_start = now + params_.tRCD;
+        recordActivate(now);
+        if (statRefreshes_)
+            ++*statRefreshes_;
+    } else {
+        // Write-through: data burst on the bus, then the pulse train.
+        busFreeAt_ = now + params_.burstTime();
+        pulse_start = now + params_.burstTime();
+        if (statWrites_)
+            ++*statWrites_;
+    }
+
+    bank.writing = true;
+    bank.writePulseStart = pulse_start;
+    bank.writeMode = req.mode;
+    bank.busyUntil = pulse_start + wp;
+    bank.inflightWrite = req;
+
+    // Completion check; reschedules itself if pauses moved the end.
+    scheduleWriteCheck(loc.bank, bank.busyUntil);
+    return true;
+}
+
+void
+Channel::scheduleWriteCheck(unsigned bank_idx, Tick when)
+{
+    queue_.schedule(
+        when, [this, bank_idx] { writeCheck(bank_idx); },
+        EventPriority::MemoryResponse);
+}
+
+void
+Channel::writeCheck(unsigned bank_idx)
+{
+    Bank &bank = banks_[bank_idx];
+    if (queue_.now() < bank.busyUntil) {
+        // A pause pushed the pulse train back; check again at the
+        // updated completion time.
+        scheduleWriteCheck(bank_idx, bank.busyUntil);
+        return;
+    }
+    bank.writing = false;
+    complete(bank.inflightWrite, queue_.now());
+    trySchedule();
+}
+
+void
+Channel::scheduleRetry(Tick when)
+{
+    if (retryPending_ && retryAt_ <= when)
+        return;
+    if (retryPending_)
+        queue_.cancel(retryEvent_);
+    retryPending_ = true;
+    retryAt_ = when;
+    retryEvent_ = queue_.schedule(when, [this] {
+        retryPending_ = false;
+        trySchedule();
+    });
+}
+
+void
+Channel::complete(const Request &req, Tick when)
+{
+    if (completionHook_)
+        completionHook_(req, when);
+    if (req.onComplete)
+        req.onComplete(when);
+}
+
+void
+Channel::trySchedule()
+{
+    Tick earliest = maxTick;
+    bool issued_any = true;
+    while (issued_any) {
+        issued_any = false;
+
+        // Write-drain hysteresis.
+        if (!writeDrainMode_ &&
+            writeQ_.size() >= params_.writeHighWatermark) {
+            writeDrainMode_ = true;
+            if (statDrainEntries_)
+                ++*statDrainEntries_;
+        }
+        if (writeDrainMode_ &&
+            writeQ_.size() <= params_.writeLowWatermark) {
+            writeDrainMode_ = false;
+        }
+
+        // 1. RRM refreshes: highest priority, FCFS with bank skipping.
+        for (auto it = refreshQ_.begin(); it != refreshQ_.end(); ++it) {
+            if (tryIssueWrite(*it, earliest, true)) {
+                refreshQ_.erase(it);
+                issued_any = true;
+                break;
+            }
+        }
+        if (issued_any)
+            continue;
+
+        // 2. Reads (FR-FCFS), unless draining writes.
+        if (!writeDrainMode_ && !readQ_.empty()) {
+            bool issued = false;
+            // First serviceable row hit...
+            for (auto it = readQ_.begin(); it != readQ_.end(); ++it) {
+                const Location loc = map_.decode(it->addr);
+                const Bank &bank = banks_[loc.bank];
+                if (bank.hasOpenRow && bank.openRow == loc.rowId &&
+                    bank.busyUntil <= queue_.now()) {
+                    if (tryIssueRead(*it, earliest)) {
+                        readQ_.erase(it);
+                        issued = true;
+                    }
+                    break;
+                }
+            }
+            // ...otherwise the oldest serviceable read.
+            if (!issued) {
+                for (auto it = readQ_.begin(); it != readQ_.end();
+                     ++it) {
+                    if (tryIssueRead(*it, earliest)) {
+                        readQ_.erase(it);
+                        issued = true;
+                        break;
+                    }
+                }
+            }
+            if (issued) {
+                issued_any = true;
+                continue;
+            }
+        }
+
+        // 3. Writes: drain mode, or nothing else to do.
+        if (!writeQ_.empty() && (writeDrainMode_ || readQ_.empty())) {
+            for (auto it = writeQ_.begin(); it != writeQ_.end(); ++it) {
+                if (tryIssueWrite(*it, earliest, false)) {
+                    writeQ_.erase(it);
+                    issued_any = true;
+                    if (writeIssuedHook_)
+                        writeIssuedHook_();
+                    break;
+                }
+            }
+        }
+    }
+
+    if ((!refreshQ_.empty() || !readQ_.empty() || !writeQ_.empty()) &&
+        earliest != maxTick) {
+        scheduleRetry(earliest);
+    }
+}
+
+void
+Channel::regStats(stats::StatGroup &group)
+{
+    auto &g = group.addChild("channel" + std::to_string(index_));
+    statReads_ = &g.addScalar("reads", "read requests issued");
+    statRowHits_ = &g.addScalar("rowHits", "reads hitting the open row");
+    statWrites_ = &g.addScalar("writes", "demand writes issued");
+    statRefreshes_ =
+        &g.addScalar("rrmRefreshes", "RRM refresh operations issued");
+    statWritePauses_ =
+        &g.addScalar("writePauses", "writes paused to service reads");
+    statDrainEntries_ =
+        &g.addScalar("drainEntries", "write-drain mode activations");
+    statReadLatency_ = &g.addDistribution(
+        "readLatency", "read latency from enqueue to data (ticks)",
+        {50000, 100000, 200000, 400000, 800000, 1600000, 3200000});
+}
+
+bool
+Channel::idle() const
+{
+    if (!readQ_.empty() || !writeQ_.empty() || !refreshQ_.empty())
+        return false;
+    for (const auto &bank : banks_)
+        if (bank.busyUntil > queue_.now() || bank.writing)
+            return false;
+    return true;
+}
+
+} // namespace rrm::memctrl

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * One PCM channel: banks, request queues, and the scheduler.
+ *
+ * Scheduling policy (paper Table V):
+ *  - the RRM Refresh Queue has the highest priority (its requests have
+ *    a hard retention deadline), then reads, then writes;
+ *  - reads use FR-FCFS over the open 1 KB row-buffer segments;
+ *  - writes are write-through (bypassing the row buffer) and issue
+ *    only when the write queue is in drain mode (above the high
+ *    watermark, until the low watermark) or no read is serviceable;
+ *  - an in-flight write can be *paused* at the end of its current
+ *    RESET/SET pulse to service reads to the same bank (Qureshi
+ *    HPCA'10 write pausing), then resumes.
+ */
+
+#ifndef RRM_MEMCTRL_CHANNEL_HH
+#define RRM_MEMCTRL_CHANNEL_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "memctrl/address_map.hh"
+#include "memctrl/request.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace rrm::memctrl
+{
+
+/** Per-completion hook: (request, completion tick). */
+using CompletionHook = std::function<void(const Request &, Tick)>;
+
+/** Notification that a write left the write queue (backpressure). */
+using WriteIssuedHook = std::function<void()>;
+
+/** One memory channel with its banks and queues. */
+class Channel
+{
+  public:
+    Channel(unsigned index, const MemoryParams &params,
+            EventQueue &queue);
+
+    /** @{ Enqueue; returns false if the respective queue is full. */
+    bool enqueueRead(Request req);
+    bool enqueueWrite(Request req);
+    bool enqueueRefresh(Request req);
+    /** @} */
+
+    /** @{ Queue occupancies. */
+    std::size_t readQueueSize() const { return readQ_.size(); }
+    std::size_t writeQueueSize() const { return writeQ_.size(); }
+    std::size_t refreshQueueSize() const { return refreshQ_.size(); }
+    /** @} */
+
+    bool writeQueueFull() const
+    {
+        return writeQ_.size() >= params_.writeQueueCap;
+    }
+
+    /** Completion hook for all requests on this channel. */
+    void setCompletionHook(CompletionHook hook)
+    {
+        completionHook_ = std::move(hook);
+    }
+
+    /** Hook invoked whenever a write leaves the write queue. */
+    void setWriteIssuedHook(WriteIssuedHook hook)
+    {
+        writeIssuedHook_ = std::move(hook);
+    }
+
+    /** Register statistics under the given group. */
+    void regStats(stats::StatGroup &group);
+
+    /** True if all queues are empty and all banks idle (tests). */
+    bool idle() const;
+
+  private:
+    struct Bank
+    {
+        Tick busyUntil = 0;
+        std::uint64_t openRow = ~std::uint64_t(0);
+        bool hasOpenRow = false;
+
+        /** In-flight pausable write, if any. */
+        bool writing = false;
+        Tick writePulseStart = 0; ///< start of the pulse train
+        pcm::WriteMode writeMode = pcm::WriteMode::Sets7;
+        Request inflightWrite;
+    };
+
+    /** Earliest tick >= `t` at which `bank` can accept a read. */
+    Tick bankReadyForRead(const Bank &bank, Tick t) const;
+
+    /** Earliest tick >= `t` at which `bank` can accept a write. */
+    Tick bankReadyForWrite(const Bank &bank, Tick t) const;
+
+    /** Earliest tick >= `t` satisfying the tFAW activate window. */
+    Tick fawReady(Tick t) const;
+
+    void recordActivate(Tick t);
+
+    /** Try to issue as much as possible; arrange a retry if blocked. */
+    void trySchedule();
+
+    /**
+     * Attempt to issue the given request now.
+     * @param earliest[out] Updated with the request's earliest issue
+     *        time when it cannot issue now.
+     * @return true if issued.
+     */
+    bool tryIssueRead(const Request &req, Tick &earliest);
+    bool tryIssueWrite(const Request &req, Tick &earliest,
+                       bool is_refresh);
+
+    void scheduleRetry(Tick when);
+    void complete(const Request &req, Tick when);
+    void scheduleWriteCheck(unsigned bank_idx, Tick when);
+    void writeCheck(unsigned bank_idx);
+
+    unsigned index_;
+    MemoryParams params_;
+    EventQueue &queue_;
+    AddressMap map_;
+
+    std::vector<Bank> banks_;
+    std::deque<Request> readQ_;
+    std::deque<Request> writeQ_;
+    std::deque<Request> refreshQ_;
+
+    Tick busFreeAt_ = 0;
+    std::vector<Tick> activateHistory_; ///< ring of last 4 activates
+    std::size_t activateIdx_ = 0;
+
+    bool writeDrainMode_ = false;
+
+    bool retryPending_ = false;
+    Tick retryAt_ = 0;
+    EventQueue::EventId retryEvent_ = 0;
+
+    CompletionHook completionHook_;
+    WriteIssuedHook writeIssuedHook_;
+
+    stats::Scalar *statReads_ = nullptr;
+    stats::Scalar *statRowHits_ = nullptr;
+    stats::Scalar *statWrites_ = nullptr;
+    stats::Scalar *statRefreshes_ = nullptr;
+    stats::Scalar *statWritePauses_ = nullptr;
+    stats::Scalar *statDrainEntries_ = nullptr;
+    stats::DistributionStat *statReadLatency_ = nullptr;
+};
+
+} // namespace rrm::memctrl
+
+#endif // RRM_MEMCTRL_CHANNEL_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Controller implementation.
+ */
+
+#include "controller.hh"
+
+namespace rrm::memctrl
+{
+
+Controller::Controller(const MemoryParams &params, EventQueue &queue)
+    : params_(params), map_(params)
+{
+    for (unsigned c = 0; c < params_.numChannels; ++c)
+        channels_.push_back(std::make_unique<Channel>(c, params_, queue));
+}
+
+unsigned
+Controller::channelOf(Addr addr) const
+{
+    return map_.decode(addr).channel;
+}
+
+bool
+Controller::enqueueRead(Addr addr, std::function<void(Tick)> on_complete)
+{
+    Request req;
+    req.kind = ReqKind::Read;
+    req.addr = addr;
+    req.onComplete = std::move(on_complete);
+    return channels_[channelOf(addr)]->enqueueRead(std::move(req));
+}
+
+bool
+Controller::enqueueWrite(Addr addr, pcm::WriteMode mode)
+{
+    Request req;
+    req.kind = ReqKind::Write;
+    req.addr = addr;
+    req.mode = mode;
+    return channels_[channelOf(addr)]->enqueueWrite(std::move(req));
+}
+
+bool
+Controller::enqueueRefresh(Addr addr, pcm::WriteMode mode)
+{
+    Request req;
+    req.kind = ReqKind::RrmRefresh;
+    req.addr = addr;
+    req.mode = mode;
+    return channels_[channelOf(addr)]->enqueueRefresh(std::move(req));
+}
+
+bool
+Controller::writeQueueFull(Addr addr) const
+{
+    return channels_[channelOf(addr)]->writeQueueFull();
+}
+
+void
+Controller::setCompletionHook(CompletionHook hook)
+{
+    for (auto &ch : channels_)
+        ch->setCompletionHook(hook);
+}
+
+void
+Controller::setWriteIssuedHook(WriteIssuedHook hook)
+{
+    for (auto &ch : channels_)
+        ch->setWriteIssuedHook(hook);
+}
+
+std::size_t
+Controller::totalReadQueue() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->readQueueSize();
+    return n;
+}
+
+std::size_t
+Controller::totalWriteQueue() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->writeQueueSize();
+    return n;
+}
+
+std::size_t
+Controller::totalRefreshQueue() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->refreshQueueSize();
+    return n;
+}
+
+bool
+Controller::idle() const
+{
+    for (const auto &ch : channels_)
+        if (!ch->idle())
+            return false;
+    return true;
+}
+
+void
+Controller::regStats(stats::StatGroup &group)
+{
+    for (auto &ch : channels_)
+        ch->regStats(group);
+}
+
+} // namespace rrm::memctrl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Memory controller request types.
+ */
+
+#ifndef RRM_MEMCTRL_REQUEST_HH
+#define RRM_MEMCTRL_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+#include "pcm/write_mode.hh"
+
+namespace rrm::memctrl
+{
+
+/** Kind of a controller-level operation. */
+enum class ReqKind : std::uint8_t
+{
+    Read = 0,
+    Write,      ///< demand write (dirty LLC eviction) with a mode
+    RrmRefresh, ///< selective refresh issued by the RRM
+};
+
+/** One request in a controller queue. */
+struct Request
+{
+    ReqKind kind = ReqKind::Read;
+    Addr addr = 0;
+    pcm::WriteMode mode = pcm::WriteMode::Sets7; ///< writes/refreshes
+    Tick enqueueTick = 0;
+
+    /** Completion callback (reads and refresh bookkeeping). */
+    std::function<void(Tick)> onComplete;
+};
+
+} // namespace rrm::memctrl
+
+#endif // RRM_MEMCTRL_REQUEST_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Start-Gap implementation.
+ */
+
+#include "start_gap.hh"
+
+namespace rrm::memctrl
+{
+
+StartGapDomain::StartGapDomain(std::uint64_t num_lines,
+                               std::uint64_t gap_write_period)
+    : numLines_(num_lines), gapWritePeriod_(gap_write_period)
+{
+    RRM_ASSERT(numLines_ >= 2, "domain needs at least two lines");
+    RRM_ASSERT(gapWritePeriod_ >= 1, "gap period must be positive");
+    gap_ = numLines_; // spare slot initially at the top
+}
+
+std::uint64_t
+StartGapDomain::physicalSlot(std::uint64_t line) const
+{
+    RRM_ASSERT(line < numLines_, "line outside domain");
+    // N+1 slots; `start` rotates the namespace over N, and lines at
+    // or above the gap shift up one slot to skip the hole (the
+    // original MICRO'09 formulation).
+    std::uint64_t slot = (start_ + line) % numLines_;
+    if (slot >= gap_)
+        ++slot;
+    return slot;
+}
+
+bool
+StartGapDomain::onWrite()
+{
+    if (++writesSinceMove_ < gapWritePeriod_)
+        return false;
+    writesSinceMove_ = 0;
+    ++gapMoves_;
+    if (gap_ == 0) {
+        // Gap wrapped: the whole array shifted one slot.
+        gap_ = numLines_;
+        start_ = (start_ + 1) % numLines_;
+    } else {
+        --gap_;
+    }
+    return true;
+}
+
+StartGapRemapper::StartGapRemapper(std::uint64_t memory_bytes,
+                                   const StartGapParams &params)
+    : params_(params), memoryBytes_(memory_bytes)
+{
+    RRM_ASSERT(isPowerOfTwo(params_.lineBytes),
+               "Start-Gap line size must be a power of two");
+    const std::uint64_t total_lines = memory_bytes / params_.lineBytes;
+    RRM_ASSERT(total_lines % params_.linesPerDomain == 0,
+               "memory must be a whole number of Start-Gap domains");
+    const std::uint64_t n = total_lines / params_.linesPerDomain;
+    domains_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        domains_.emplace_back(params_.linesPerDomain,
+                              params_.gapWritePeriod);
+    }
+}
+
+std::uint64_t
+StartGapRemapper::domainOf(Addr addr) const
+{
+    RRM_ASSERT(addr < memoryBytes_, "address beyond memory");
+    return (addr / params_.lineBytes) / params_.linesPerDomain;
+}
+
+Addr
+StartGapRemapper::remap(Addr addr) const
+{
+    const std::uint64_t line = addr / params_.lineBytes;
+    const std::uint64_t domain = line / params_.linesPerDomain;
+    const std::uint64_t local = line % params_.linesPerDomain;
+    const Addr offset = addr % params_.lineBytes;
+
+    std::uint64_t slot = domains_[domain].physicalSlot(local);
+    // Fold the spare slot back into the domain (see class comment).
+    if (slot == params_.linesPerDomain)
+        slot = params_.linesPerDomain - 1;
+    const std::uint64_t base =
+        domain * params_.linesPerDomain * params_.lineBytes;
+    return base + slot * params_.lineBytes + offset;
+}
+
+bool
+StartGapRemapper::onWrite(Addr addr)
+{
+    return domains_[domainOf(addr)].onWrite();
+}
+
+std::uint64_t
+StartGapRemapper::totalGapMoves() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d.gapMoves();
+    return n;
+}
+
+} // namespace rrm::memctrl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LifetimeModel implementation.
+ */
+
+#include "lifetime_model.hh"
+
+namespace rrm::pcm
+{
+
+LifetimeModel::LifetimeModel(std::uint64_t num_blocks,
+                             const LifetimeParams &params)
+    : numBlocks_(num_blocks), params_(params)
+{
+    RRM_ASSERT(numBlocks_ > 0, "lifetime model needs a non-empty array");
+    RRM_ASSERT(params_.endurance > 0.0, "endurance must be positive");
+    RRM_ASSERT(params_.levelingEfficiency > 0.0 &&
+                   params_.levelingEfficiency <= 1.0,
+               "leveling efficiency must be in (0, 1]");
+}
+
+double
+LifetimeModel::demandWriteRate(const WearMeasurement &m) const
+{
+    RRM_ASSERT(m.windowSeconds > 0.0, "measurement window is empty");
+    return static_cast<double>(m.demandWrites) / m.windowSeconds;
+}
+
+double
+LifetimeModel::rrmRefreshRate(const WearMeasurement &m) const
+{
+    RRM_ASSERT(m.windowSeconds > 0.0, "measurement window is empty");
+    RRM_ASSERT(m.timeScale >= 1.0, "time scale must be >= 1");
+    // The scaled window compresses refresh intervals by timeScale, so
+    // the same refresh activity is spread over timeScale x more real
+    // time than the window suggests.
+    return static_cast<double>(m.rrmRefreshWrites) /
+           (m.windowSeconds * m.timeScale);
+}
+
+double
+LifetimeModel::globalRefreshRate(const WearMeasurement &m) const
+{
+    if (!m.globalRefreshMode)
+        return 0.0;
+    // Every block is rewritten once per (un-scaled) retention interval.
+    const double interval = retentionSeconds(*m.globalRefreshMode);
+    return static_cast<double>(numBlocks_) / interval;
+}
+
+double
+LifetimeModel::perBlockWriteRate(const WearMeasurement &m) const
+{
+    const double array_rate =
+        demandWriteRate(m) + rrmRefreshRate(m) + globalRefreshRate(m);
+    return array_rate / static_cast<double>(numBlocks_);
+}
+
+double
+LifetimeModel::lifetimeSeconds(const WearMeasurement &m) const
+{
+    const double rate = perBlockWriteRate(m);
+    RRM_ASSERT(rate > 0.0, "zero write rate gives unbounded lifetime");
+    return params_.levelingEfficiency * params_.endurance / rate;
+}
+
+double
+LifetimeModel::lifetimeYears(const WearMeasurement &m) const
+{
+    return lifetimeSeconds(m) / secondsPerYear;
+}
+
+} // namespace rrm::pcm

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * RegionMonitor implementation.
+ */
+
+#include "region_monitor.hh"
+
+namespace rrm::monitor
+{
+
+RegionMonitor::RegionMonitor(const RrmConfig &config, EventQueue &queue)
+    : config_(config), queue_(queue)
+{
+    config_.check();
+    entries_.resize(std::size_t(config_.numSets) * config_.assoc);
+    for (auto &e : entries_)
+        e.shortRetentionVector = BitVector(config_.blocksPerRegion());
+}
+
+RegionMonitor::~RegionMonitor()
+{
+    stop();
+}
+
+void
+RegionMonitor::start()
+{
+    RRM_ASSERT(!refreshTask_ && !decayTask_, "RRM already started");
+    const Tick interval = config_.shortRetentionInterval();
+    const Tick decay = config_.decayTickInterval();
+    refreshTask_ = std::make_unique<PeriodicTask>(
+        queue_, interval, queue_.now() + interval,
+        [this] { onShortRetentionInterrupt(); },
+        EventPriority::RefreshInterrupt);
+    decayTask_ = std::make_unique<PeriodicTask>(
+        queue_, decay, queue_.now() + decay,
+        [this] { onDecayTick(); }, EventPriority::RefreshInterrupt);
+}
+
+void
+RegionMonitor::stop()
+{
+    refreshTask_.reset();
+    decayTask_.reset();
+}
+
+std::uint64_t
+RegionMonitor::regionIdOf(Addr addr) const
+{
+    return addr / config_.regionBytes;
+}
+
+std::uint64_t
+RegionMonitor::setOf(std::uint64_t region_id) const
+{
+    return region_id % config_.numSets;
+}
+
+RegionMonitor::Entry *
+RegionMonitor::find(std::uint64_t region_id)
+{
+    Entry *base = &entries_[setOf(region_id) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if (base[w].valid && base[w].regionId == region_id)
+            return &base[w];
+    return nullptr;
+}
+
+const RegionMonitor::Entry *
+RegionMonitor::find(std::uint64_t region_id) const
+{
+    return const_cast<RegionMonitor *>(this)->find(region_id);
+}
+
+RegionMonitor::Entry &
+RegionMonitor::allocate(std::uint64_t region_id)
+{
+    Entry *base = &entries_[setOf(region_id) * config_.assoc];
+    Entry *slot = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+    if (!slot) {
+        // Evict the LRU entry of the set.
+        slot = base;
+        for (unsigned w = 1; w < config_.assoc; ++w)
+            if (base[w].lruStamp < slot->lruStamp)
+                slot = &base[w];
+        if (statEvictions_)
+            ++*statEvictions_;
+        if (slot->shortRetentionVector.any()) {
+            // Fast-written blocks lose their tracker: hand them back
+            // to long retention before dropping the entry.
+            if (statEvictionFlushes_)
+                ++*statEvictionFlushes_;
+            demote(*slot, true);
+        }
+    }
+
+    slot->regionId = region_id;
+    slot->valid = true;
+    slot->hot = false;
+    slot->dirtyWriteCounter = 0;
+    slot->decayCounter = 0;
+    slot->shortRetentionVector.reset();
+    slot->lruStamp = ++lruClock_;
+    if (statAllocations_)
+        ++*statAllocations_;
+    return *slot;
+}
+
+void
+RegionMonitor::registerLlcWrite(Addr addr, bool was_dirty)
+{
+    if (statRegistrations_)
+        ++*statRegistrations_;
+    // Streaming filter: only writes to already-dirty LLC entries count
+    // (paper Section IV-D).
+    if (config_.dirtyWriteFilter && !was_dirty) {
+        if (statCleanFiltered_)
+            ++*statCleanFiltered_;
+        return;
+    }
+
+    const std::uint64_t region_id = regionIdOf(addr);
+    Entry *entry = find(region_id);
+    if (entry) {
+        if (statRegHits_)
+            ++*statRegHits_;
+    } else {
+        entry = &allocate(region_id);
+    }
+    entry->lruStamp = ++lruClock_;
+
+    if (entry->dirtyWriteCounter < config_.hotThreshold) {
+        ++entry->dirtyWriteCounter;
+        if (entry->dirtyWriteCounter == config_.hotThreshold &&
+            !entry->hot) {
+            entry->hot = true;
+            if (statPromotions_)
+                ++*statPromotions_;
+        }
+    }
+
+    if (entry->hot) {
+        const std::uint64_t block =
+            (addr % config_.regionBytes) / config_.blockBytes;
+        entry->shortRetentionVector.set(block);
+    }
+}
+
+pcm::WriteMode
+RegionMonitor::writeModeFor(Addr block_addr) const
+{
+    const Entry *entry = find(regionIdOf(block_addr));
+    if (entry) {
+        const std::uint64_t block =
+            (block_addr % config_.regionBytes) / config_.blockBytes;
+        if (entry->shortRetentionVector.test(block)) {
+            if (statFastDecisions_)
+                ++*statFastDecisions_;
+            return config_.fastMode;
+        }
+    }
+    if (statSlowDecisions_)
+        ++*statSlowDecisions_;
+    return config_.slowMode;
+}
+
+void
+RegionMonitor::emitRefresh(Addr block_addr, pcm::WriteMode mode,
+                           bool from_decay)
+{
+    if (refreshCallback_)
+        refreshCallback_(RefreshRequest{block_addr, mode, from_decay});
+}
+
+void
+RegionMonitor::demote(Entry &entry, bool from_eviction)
+{
+    const Addr region_base = entry.regionId * config_.regionBytes;
+    entry.shortRetentionVector.forEachSet([&](std::size_t block) {
+        emitRefresh(region_base + block * config_.blockBytes,
+                    config_.slowMode, true);
+        if (statSlowRefreshes_)
+            ++*statSlowRefreshes_;
+    });
+    entry.shortRetentionVector.reset();
+    entry.hot = false;
+    if (!from_eviction && statDemotions_)
+        ++*statDemotions_;
+}
+
+void
+RegionMonitor::onShortRetentionInterrupt()
+{
+    if (statRefreshRounds_)
+        ++*statRefreshRounds_;
+    for (auto &entry : entries_) {
+        if (!entry.valid || !entry.hot)
+            continue;
+        const Addr region_base = entry.regionId * config_.regionBytes;
+        entry.shortRetentionVector.forEachSet([&](std::size_t block) {
+            emitRefresh(region_base + block * config_.blockBytes,
+                        config_.fastMode, false);
+            if (statFastRefreshes_)
+                ++*statFastRefreshes_;
+        });
+    }
+}
+
+void
+RegionMonitor::onDecayTick()
+{
+    for (auto &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        entry.decayCounter =
+            (entry.decayCounter + 1) % config_.decayTicksPerInterval;
+        if (entry.decayCounter != 0)
+            continue;
+        // Wrap: re-evaluate hotness over the elapsed interval.
+        if (entry.hot) {
+            if (entry.dirtyWriteCounter >= config_.hotThreshold) {
+                // Still hot: halve the counter for the next interval.
+                entry.dirtyWriteCounter /= 2;
+            } else {
+                demote(entry, false);
+            }
+        }
+    }
+}
+
+bool
+RegionMonitor::isTracked(Addr addr) const
+{
+    return find(regionIdOf(addr)) != nullptr;
+}
+
+bool
+RegionMonitor::isHot(Addr addr) const
+{
+    const Entry *e = find(regionIdOf(addr));
+    return e && e->hot;
+}
+
+std::optional<unsigned>
+RegionMonitor::dirtyWriteCounter(Addr addr) const
+{
+    const Entry *e = find(regionIdOf(addr));
+    if (!e)
+        return std::nullopt;
+    return e->dirtyWriteCounter;
+}
+
+bool
+RegionMonitor::shortRetentionBit(Addr block_addr) const
+{
+    const Entry *e = find(regionIdOf(block_addr));
+    if (!e)
+        return false;
+    const std::uint64_t block =
+        (block_addr % config_.regionBytes) / config_.blockBytes;
+    return e->shortRetentionVector.test(block);
+}
+
+std::uint64_t
+RegionMonitor::hotEntryCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid && e.hot)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+RegionMonitor::validEntryCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+RegionMonitor::shortRetentionBlockCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            n += e.shortRetentionVector.popcount();
+    return n;
+}
+
+void
+RegionMonitor::regStats(stats::StatGroup &group)
+{
+    auto &g = group.addChild("rrm");
+    statRegistrations_ =
+        &g.addScalar("registrations", "LLC write registrations seen");
+    statCleanFiltered_ = &g.addScalar(
+        "cleanFiltered", "registrations dropped by the dirty filter");
+    statRegHits_ =
+        &g.addScalar("registrationHits", "registrations hitting an entry");
+    statAllocations_ = &g.addScalar("allocations", "entries allocated");
+    statEvictions_ = &g.addScalar("evictions", "LRU entries evicted");
+    statEvictionFlushes_ = &g.addScalar(
+        "evictionFlushes", "evictions that flushed live vector bits");
+    statPromotions_ = &g.addScalar("promotions", "entries turned hot");
+    statDemotions_ = &g.addScalar("demotions", "hot entries decayed");
+    statFastDecisions_ =
+        &g.addScalar("fastWrites", "memory writes sent as fast mode");
+    statSlowDecisions_ =
+        &g.addScalar("slowWrites", "memory writes sent as slow mode");
+    statFastRefreshes_ =
+        &g.addScalar("fastRefreshes", "selective fast refreshes issued");
+    statSlowRefreshes_ = &g.addScalar(
+        "slowRefreshes", "demotion/eviction slow refreshes issued");
+    statRefreshRounds_ =
+        &g.addScalar("refreshRounds", "short retention interrupts");
+}
+
+} // namespace rrm::monitor

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The Region Retention Monitor (the paper's contribution, Section IV).
+ *
+ * The RRM sits between the LLC and the memory controller. It is a
+ * set-associative structure whose entries each track one aligned
+ * Retention Region:
+ *
+ *   | valid | addr tag | hot | dirty_write_counter |
+ *   | short_retention_vector (1 bit / 64 B block)  | decay_counter |
+ *
+ * Operations (Figure 6):
+ *  - **LLC Write Registration**: on every LLC write, the LLC reports
+ *    the address and whether the written LLC entry was already dirty.
+ *    Writes to clean entries are ignored (streaming filter). The
+ *    region's entry is looked up / allocated (LRU victim), its
+ *    dirty_write_counter incremented while below hot_threshold; at
+ *    hot_threshold the entry turns *hot*; while hot, the written
+ *    block's short_retention_vector bit is set.
+ *  - **Memory Write Mode Decision**: a memory write goes out as a
+ *    fast (3-SETs) write iff its entry hits and the block's vector
+ *    bit is set; otherwise as the slow default (7-SETs).
+ *  - **Selective Fast Refresh**: every shortRetentionInterval, every
+ *    vector bit of every hot entry produces a fast refresh request.
+ *  - **Decay**: every 1/16 interval, each entry's 4-bit decay_counter
+ *    increments; on wrap, a still-saturated entry stays hot with its
+ *    counter halved, anything else is demoted: slow refreshes are
+ *    issued for its vector bits and the vector clears.
+ *
+ * Paper-ambiguity resolution (DESIGN.md section 6): evicting an entry
+ * with live vector bits also issues slow refreshes — otherwise the
+ * fast-written blocks would silently lose their refresh obligation.
+ */
+
+#ifndef RRM_RRM_REGION_MONITOR_HH
+#define RRM_RRM_REGION_MONITOR_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "rrm/rrm_config.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace rrm::monitor
+{
+
+/** A refresh request emitted by the RRM. */
+struct RefreshRequest
+{
+    Addr blockAddr;
+    pcm::WriteMode mode;
+    bool fromDecay; ///< true for demotion/eviction slow refreshes
+};
+
+/** The Region Retention Monitor. */
+class RegionMonitor
+{
+  public:
+    using RefreshCallback = std::function<void(const RefreshRequest &)>;
+
+    /**
+     * @param config Validated configuration.
+     * @param queue  Event queue for the periodic interrupts.
+     */
+    RegionMonitor(const RrmConfig &config, EventQueue &queue);
+
+    ~RegionMonitor();
+
+    RegionMonitor(const RegionMonitor &) = delete;
+    RegionMonitor &operator=(const RegionMonitor &) = delete;
+
+    const RrmConfig &config() const { return config_; }
+
+    /** Sink for selective-refresh / demotion refresh requests. */
+    void setRefreshCallback(RefreshCallback cb)
+    {
+        refreshCallback_ = std::move(cb);
+    }
+
+    /**
+     * Arm the periodic short-retention and decay interrupts. The
+     * first short-retention interrupt fires one full interval from
+     * now; decay ticks start after one decay interval.
+     */
+    void start();
+
+    /** Cancel the periodic interrupts. */
+    void stop();
+
+    /** LLC Write Registration (paper Section IV-D). */
+    void registerLlcWrite(Addr addr, bool was_dirty);
+
+    /** Memory Write Mode Decision (paper Section IV-E). */
+    pcm::WriteMode writeModeFor(Addr block_addr) const;
+
+    /** Lookup latency to charge on the write path. */
+    Tick accessLatency() const { return config_.accessLatency; }
+
+    /** @{ Introspection (tests / analysis). */
+    bool isTracked(Addr addr) const;
+    bool isHot(Addr addr) const;
+    std::optional<unsigned> dirtyWriteCounter(Addr addr) const;
+    bool shortRetentionBit(Addr block_addr) const;
+    std::uint64_t hotEntryCount() const;
+    std::uint64_t validEntryCount() const;
+    std::uint64_t shortRetentionBlockCount() const;
+    /** @} */
+
+    /** Force one selective-refresh round (tests). */
+    void runSelectiveRefresh() { onShortRetentionInterrupt(); }
+
+    /** Force one decay tick (tests). */
+    void runDecayTick() { onDecayTick(); }
+
+    void regStats(stats::StatGroup &group);
+
+  private:
+    struct Entry
+    {
+        Addr regionId = 0;
+        std::uint64_t lruStamp = 0;
+        BitVector shortRetentionVector;
+        unsigned dirtyWriteCounter = 0;
+        unsigned decayCounter = 0;
+        bool valid = false;
+        bool hot = false;
+    };
+
+    std::uint64_t regionIdOf(Addr addr) const;
+    std::uint64_t setOf(std::uint64_t region_id) const;
+    Entry *find(std::uint64_t region_id);
+    const Entry *find(std::uint64_t region_id) const;
+
+    /** Allocate an entry for region_id, evicting LRU if needed. */
+    Entry &allocate(std::uint64_t region_id);
+
+    /** Demote: slow-refresh vector bits, clear vector, hot = 0. */
+    void demote(Entry &entry, bool from_eviction);
+
+    void emitRefresh(Addr block_addr, pcm::WriteMode mode,
+                     bool from_decay);
+
+    void onShortRetentionInterrupt();
+    void onDecayTick();
+
+    RrmConfig config_;
+    EventQueue &queue_;
+    std::vector<Entry> entries_; ///< numSets * assoc, set-major
+    std::uint64_t lruClock_ = 0;
+
+    RefreshCallback refreshCallback_;
+    std::unique_ptr<PeriodicTask> refreshTask_;
+    std::unique_ptr<PeriodicTask> decayTask_;
+
+    stats::Scalar *statRegistrations_ = nullptr;
+    stats::Scalar *statCleanFiltered_ = nullptr;
+    stats::Scalar *statRegHits_ = nullptr;
+    stats::Scalar *statAllocations_ = nullptr;
+    stats::Scalar *statEvictions_ = nullptr;
+    stats::Scalar *statEvictionFlushes_ = nullptr;
+    stats::Scalar *statPromotions_ = nullptr;
+    stats::Scalar *statDemotions_ = nullptr;
+    stats::Scalar *statFastDecisions_ = nullptr;
+    stats::Scalar *statSlowDecisions_ = nullptr;
+    stats::Scalar *statFastRefreshes_ = nullptr;
+    stats::Scalar *statSlowRefreshes_ = nullptr;
+    stats::Scalar *statRefreshRounds_ = nullptr;
+};
+
+} // namespace rrm::monitor
+
+#endif // RRM_RRM_REGION_MONITOR_HH

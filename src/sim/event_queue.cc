@@ -1,0 +1,147 @@
+/**
+ * @file
+ * EventQueue and PeriodicTask implementations.
+ */
+
+#include "event_queue.hh"
+
+#include <utility>
+
+namespace rrm
+{
+
+void
+EventQueue::heapPush(Entry entry)
+{
+    heap_.push_back(std::move(entry));
+    // Sift up.
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!heap_[parent].laterThan(heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+EventQueue::Entry
+EventQueue::heapPop()
+{
+    RRM_ASSERT(!heap_.empty(), "pop from empty event heap");
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    // Sift down.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        std::size_t smallest = i;
+        if (l < n && heap_[smallest].laterThan(heap_[l]))
+            smallest = l;
+        if (r < n && heap_[smallest].laterThan(heap_[r]))
+            smallest = r;
+        if (smallest == i)
+            break;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
+    return top;
+}
+
+bool
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty()) {
+        const auto it = cancelled_.find(heapTop().id);
+        if (it == cancelled_.end())
+            return true;
+        cancelled_.erase(it);
+        heapPop();
+    }
+    return false;
+}
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    RRM_ASSERT(when >= now_, "scheduling into the past: when=", when,
+               " now=", now_);
+    RRM_ASSERT(cb, "scheduling a null callback");
+    const EventId id = nextId_++;
+    heapPush(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id < nextId_)
+        cancelled_.insert(id);
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t count = 0;
+    while (skipCancelled()) {
+        if (heapTop().when > until)
+            break;
+        Entry entry = heapPop();
+        now_ = entry.when;
+        ++executed_;
+        ++count;
+        entry.cb();
+    }
+    if (until != maxTick && until > now_)
+        now_ = until;
+    return count;
+}
+
+bool
+EventQueue::step()
+{
+    if (!skipCancelled())
+        return false;
+    Entry entry = heapPop();
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+}
+
+PeriodicTask::PeriodicTask(EventQueue &queue, Tick period, Tick first,
+                           EventQueue::Callback cb, EventPriority prio)
+    : queue_(queue), period_(period), cb_(std::move(cb)), prio_(prio)
+{
+    RRM_ASSERT(period_ > 0, "periodic task needs a positive period");
+    RRM_ASSERT(cb_, "periodic task needs a callback");
+    running_ = true;
+    arm(first);
+}
+
+void
+PeriodicTask::arm(Tick when)
+{
+    pending_ = queue_.schedule(
+        when,
+        [this] {
+            // Re-arm before invoking so the callback can stop() us.
+            arm(queue_.now() + period_);
+            cb_();
+        },
+        prio_);
+}
+
+void
+PeriodicTask::stop()
+{
+    if (running_) {
+        queue_.cancel(pending_);
+        running_ = false;
+    }
+}
+
+} // namespace rrm

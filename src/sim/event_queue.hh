@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The event-driven simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence).
+ * Components schedule plain std::function callbacks or recurring
+ * PeriodicTask objects (used for the RRM's 2 s short-retention
+ * interrupt and 0.125 s decay tick). Ties at the same tick are broken
+ * first by priority (lower value runs first), then by scheduling order,
+ * which keeps runs fully deterministic.
+ *
+ * The queue stores callbacks inline in its heap, so memory usage is
+ * proportional to the number of *pending* events, not the number ever
+ * scheduled — important for multi-million-event runs.
+ */
+
+#ifndef RRM_SIM_EVENT_QUEUE_HH
+#define RRM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace rrm
+{
+
+/** Standard event priorities; lower runs earlier within a tick. */
+enum class EventPriority : int
+{
+    RefreshInterrupt = 0, ///< RRM retention interrupts fire first
+    MemoryResponse = 10,  ///< memory completions before new activity
+    Default = 20,
+    CpuTick = 30,         ///< cores advance after the memory system
+};
+
+/** Global discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** True if no pending events remain. */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Number of pending (non-cancelled) events. May overestimate
+     * slightly if ids of already-executed events were cancelled.
+     */
+    std::size_t
+    size() const
+    {
+        return heap_.size() > cancelled_.size()
+                   ? heap_.size() - cancelled_.size()
+                   : 0;
+    }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick, must be >= now().
+     * @return An id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb,
+                     EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback `delay` ticks in the future. */
+    EventId
+    scheduleAfter(Tick delay, Callback cb,
+                  EventPriority prio = EventPriority::Default)
+    {
+        return schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-executed or
+     * already-cancelled id is a harmless no-op (ids are never reused
+     * within one queue).
+     */
+    void cancel(EventId id);
+
+    /**
+     * Execute events until the queue empties or the next event is past
+     * `until`. Time advances to `until` (if bounded) or stops at the
+     * last executed event.
+     *
+     * @param until Absolute tick bound (inclusive); maxTick = no bound.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick until = maxTick);
+
+    /** Execute exactly one event if available. @return true if run. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        Callback cb;
+
+        /** Min-heap order: earliest (when, prio, id) first. */
+        bool
+        laterThan(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return id > o.id;
+        }
+    };
+
+    void heapPush(Entry entry);
+    Entry heapPop();
+    const Entry &heapTop() const { return heap_.front(); }
+
+    /** Pop entries until top is live; @return false if queue drained. */
+    bool skipCancelled();
+
+    Tick now_ = 0;
+    EventId nextId_ = 0;
+    std::uint64_t executed_ = 0;
+    std::vector<Entry> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+/**
+ * A self-rescheduling periodic task, e.g. refresh interrupts.
+ * The task stays armed until stop(); the owner must keep both the task
+ * and the queue alive while armed.
+ */
+class PeriodicTask
+{
+  public:
+    /**
+     * @param queue   Queue to run on.
+     * @param period  Interval between invocations (> 0).
+     * @param first   Absolute tick of the first invocation.
+     */
+    PeriodicTask(EventQueue &queue, Tick period, Tick first,
+                 EventQueue::Callback cb,
+                 EventPriority prio = EventPriority::Default);
+
+    ~PeriodicTask() { stop(); }
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    /** Cancel future invocations. */
+    void stop();
+
+    bool running() const { return running_; }
+    Tick period() const { return period_; }
+
+  private:
+    void arm(Tick when);
+
+    EventQueue &queue_;
+    Tick period_;
+    EventQueue::Callback cb_;
+    EventPriority prio_;
+    EventQueue::EventId pending_ = 0;
+    bool running_ = false;
+};
+
+} // namespace rrm
+
+#endif // RRM_SIM_EVENT_QUEUE_HH

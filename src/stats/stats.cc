@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "stats.hh"
+
+#include <iomanip>
+#include <numeric>
+
+namespace rrm::stats
+{
+
+namespace
+{
+
+/** Join a prefix and a stat name with a dot (no leading dot). */
+std::string
+joinPath(const std::string &prefix, const std::string &name)
+{
+    return prefix.empty() ? name : prefix + "." + name;
+}
+
+void
+dumpLine(std::ostream &os, const std::string &path, double value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(52) << path << std::right
+       << std::setw(18) << std::setprecision(8) << value << "  # " << desc
+       << '\n';
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, joinPath(prefix, name()), value_, desc());
+}
+
+double
+VectorStat::total() const
+{
+    return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+void
+VectorStat::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = joinPath(prefix, name());
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        dumpLine(os, base + "::" + binNames_[i], values_[i], desc());
+    dumpLine(os, base + "::total", total(), desc());
+}
+
+void
+VectorStat::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, joinPath(prefix, name()), value(), desc());
+}
+
+void
+DistributionStat::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = joinPath(prefix, name());
+    dumpLine(os, base + "::samples",
+             static_cast<double>(samples_.count()), desc());
+    dumpLine(os, base + "::mean", samples_.mean(), desc());
+    for (std::size_t i = 0; i < hist_.numBuckets(); ++i) {
+        dumpLine(os, base + "::" + hist_.bucketLabel(i),
+                 static_cast<double>(hist_.count(i)), desc());
+    }
+}
+
+template <typename T, typename... Args>
+T &
+StatGroup::emplaceStat(Args &&...args)
+{
+    auto stat = std::make_unique<T>(std::forward<Args>(args)...);
+    T &ref = *stat;
+    statsInOrder_.push_back(std::move(stat));
+    return ref;
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    return emplaceStat<Scalar>(name, desc);
+}
+
+VectorStat &
+StatGroup::addVector(const std::string &name, const std::string &desc,
+                     std::vector<std::string> bin_names)
+{
+    return emplaceStat<VectorStat>(name, desc, std::move(bin_names));
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      Formula::Fn fn)
+{
+    return emplaceStat<Formula>(name, desc, std::move(fn));
+}
+
+DistributionStat &
+StatGroup::addDistribution(const std::string &name, const std::string &desc,
+                           std::vector<std::uint64_t> boundaries)
+{
+    return emplaceStat<DistributionStat>(name, desc,
+                                         std::move(boundaries));
+}
+
+StatGroup &
+StatGroup::addChild(const std::string &name)
+{
+    children_.push_back(std::make_unique<StatGroup>(name));
+    return *children_.back();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string path = joinPath(prefix, name_);
+    for (const auto &stat : statsInOrder_)
+        stat->dump(os, path);
+    for (const auto &child : children_)
+        child->dump(os, path);
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &stat : statsInOrder_)
+        stat->reset();
+    for (auto &child : children_)
+        child->reset();
+}
+
+const StatBase *
+StatGroup::find(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &stat : statsInOrder_)
+            if (stat->name() == dotted_path)
+                return stat.get();
+        return nullptr;
+    }
+    const std::string head = dotted_path.substr(0, dot);
+    const std::string rest = dotted_path.substr(dot + 1);
+    for (const auto &child : children_)
+        if (child->name() == head)
+            return child->find(rest);
+    return nullptr;
+}
+
+} // namespace rrm::stats

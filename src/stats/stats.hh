@@ -1,0 +1,228 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Simulation objects own a StatGroup and register named statistics in
+ * it. Groups nest, giving dotted hierarchical names
+ * (e.g. "system.memctrl.channel0.readReqs"). Supported kinds:
+ *
+ *  - Scalar:       a counter / accumulator.
+ *  - VectorStat:   a fixed set of named bins (per-bank counters, ...).
+ *  - Formula:      a value computed from other stats at dump time.
+ *  - DistributionStat: bucketed distribution over uint64 samples.
+ *
+ * All statistics are dumped by StatGroup::dump() in registration order,
+ * producing a stable, diffable text report.
+ */
+
+#ifndef RRM_STATS_STATS_HH
+#define RRM_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/logging.hh"
+
+namespace rrm::stats
+{
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write this stat's line(s), prefixed with the full dotted path. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+
+    /** Reset to initial value. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple additive counter / accumulator. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &
+    operator+=(double v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        value_ += 1.0;
+        return *this;
+    }
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-size vector of named bins. */
+class VectorStat : public StatBase
+{
+  public:
+    VectorStat(std::string name, std::string desc,
+               std::vector<std::string> bin_names)
+        : StatBase(std::move(name), std::move(desc)),
+          binNames_(std::move(bin_names)),
+          values_(binNames_.size(), 0.0)
+    {}
+
+    void
+    add(std::size_t bin, double v = 1.0)
+    {
+        RRM_ASSERT(bin < values_.size(), "stat vector bin out of range");
+        values_[bin] += v;
+    }
+
+    double
+    value(std::size_t bin) const
+    {
+        RRM_ASSERT(bin < values_.size(), "stat vector bin out of range");
+        return values_[bin];
+    }
+
+    double total() const;
+    std::size_t size() const { return values_.size(); }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::string> binNames_;
+    std::vector<double> values_;
+};
+
+/** A derived value evaluated lazily at dump time. */
+class Formula : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(std::string name, std::string desc, Fn fn)
+        : StatBase(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    Fn fn_;
+};
+
+/** Bucketed distribution built on BoundedHistogram. */
+class DistributionStat : public StatBase
+{
+  public:
+    DistributionStat(std::string name, std::string desc,
+                     std::vector<std::uint64_t> boundaries)
+        : StatBase(std::move(name), std::move(desc)),
+          hist_(std::move(boundaries))
+    {}
+
+    void add(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        hist_.add(v, weight);
+        samples_.add(static_cast<double>(v));
+    }
+
+    const BoundedHistogram &histogram() const { return hist_; }
+    const SampleStats &samples() const { return samples_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override
+    {
+        hist_.reset();
+        samples_.reset();
+    }
+
+  private:
+    BoundedHistogram hist_;
+    SampleStats samples_;
+};
+
+/**
+ * A named collection of statistics and child groups.
+ *
+ * Groups own their stats; the add* helpers return references that stay
+ * valid for the group's lifetime (stats are never removed).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+    VectorStat &addVector(const std::string &name, const std::string &desc,
+                          std::vector<std::string> bin_names);
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        Formula::Fn fn);
+    DistributionStat &addDistribution(
+        const std::string &name, const std::string &desc,
+        std::vector<std::uint64_t> boundaries);
+
+    /** Create (and own) a nested child group. */
+    StatGroup &addChild(const std::string &name);
+
+    /** Dump this group and all children, prefixing names with path. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and children. */
+    void reset();
+
+    /**
+     * Find a stat by its dotted path relative to this group; returns
+     * nullptr if not present. Intended for tests and report writers.
+     */
+    const StatBase *find(const std::string &dotted_path) const;
+
+  private:
+    template <typename T, typename... Args>
+    T &emplaceStat(Args &&...args);
+
+    std::string name_;
+    std::vector<std::unique_ptr<StatBase>> statsInOrder_;
+    std::vector<std::unique_ptr<StatGroup>> children_;
+};
+
+} // namespace rrm::stats
+
+#endif // RRM_STATS_STATS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * RegionWriteProfiler implementation.
+ */
+
+#include "region_profiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace rrm::sys
+{
+
+RegionWriteProfiler::RegionWriteProfiler(
+    std::uint64_t region_bytes, std::uint64_t total_regions,
+    std::vector<std::uint64_t> interval_boundaries)
+    : regionBytes_(region_bytes),
+      totalRegions_(total_regions),
+      boundaries_(interval_boundaries),
+      intervalHist_(std::move(interval_boundaries))
+{
+    RRM_ASSERT(isPowerOfTwo(regionBytes_),
+               "profiler region size must be a power of two");
+}
+
+void
+RegionWriteProfiler::recordWrite(Addr addr, Tick now)
+{
+    const std::uint64_t region = addr / regionBytes_;
+    RegionInfo &info = regions_[region];
+    if (info.count > 0)
+        intervalHist_.add(now - info.lastWrite);
+    else
+        info.firstWrite = now;
+    info.lastWrite = now;
+    ++info.count;
+    ++totalWrites_;
+}
+
+std::uint64_t
+RegionWriteProfiler::writtenOnceRegions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[region, info] : regions_)
+        if (info.count == 1)
+            ++n;
+    return n;
+}
+
+double
+RegionWriteProfiler::hotRegionFraction(double share) const
+{
+    RRM_ASSERT(share > 0.0 && share <= 1.0, "share out of (0, 1]");
+    if (totalWrites_ == 0 || totalRegions_ == 0)
+        return 0.0;
+    std::vector<std::uint64_t> counts;
+    counts.reserve(regions_.size());
+    for (const auto &[region, info] : regions_)
+        counts.push_back(info.count);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    const auto target = static_cast<std::uint64_t>(
+        share * static_cast<double>(totalWrites_));
+    std::uint64_t acc = 0;
+    std::uint64_t used = 0;
+    for (std::uint64_t c : counts) {
+        acc += c;
+        ++used;
+        if (acc >= target)
+            break;
+    }
+    return static_cast<double>(used) /
+           static_cast<double>(totalRegions_);
+}
+
+std::vector<RegionWriteProfiler::RegionBucket>
+RegionWriteProfiler::regionsByMeanInterval() const
+{
+    // One bucket per interval-histogram bucket; regions written once
+    // cannot have an interval and are reported separately by
+    // writtenOnceRegions().
+    std::vector<RegionBucket> buckets(boundaries_.size() + 1);
+    for (const auto &[region, info] : regions_) {
+        if (info.count < 2)
+            continue;
+        const Tick span = info.lastWrite - info.firstWrite;
+        const std::uint64_t mean_interval = span / (info.count - 1);
+        const auto it = std::upper_bound(boundaries_.begin(),
+                                         boundaries_.end(),
+                                         mean_interval);
+        const auto idx =
+            static_cast<std::size_t>(it - boundaries_.begin());
+        buckets[idx].regions += 1;
+        buckets[idx].writes += info.count;
+    }
+    return buckets;
+}
+
+void
+RegionWriteProfiler::reset()
+{
+    intervalHist_.reset();
+    regions_.clear();
+    totalWrites_ = 0;
+}
+
+} // namespace rrm::sys

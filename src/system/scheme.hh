@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The evaluated write-management schemes (paper Table VI).
+ */
+
+#ifndef RRM_SYSTEM_SCHEME_HH
+#define RRM_SYSTEM_SCHEME_HH
+
+#include <string>
+#include <vector>
+
+#include "pcm/write_mode.hh"
+
+namespace rrm::sys
+{
+
+/** Scheme family. */
+enum class SchemeKind : std::uint8_t
+{
+    Static = 0, ///< Static-N-SETs: one global write mode
+    Rrm,        ///< Region Retention Monitor hybrid
+};
+
+/** One evaluated scheme. */
+struct Scheme
+{
+    SchemeKind kind = SchemeKind::Static;
+
+    /** Write mode of a Static scheme (ignored for RRM). */
+    pcm::WriteMode staticMode = pcm::WriteMode::Sets7;
+
+    /** "Static-7-SETs" ... "Static-3-SETs". */
+    static Scheme
+    staticScheme(pcm::WriteMode mode)
+    {
+        Scheme s;
+        s.kind = SchemeKind::Static;
+        s.staticMode = mode;
+        return s;
+    }
+
+    /** The RRM hybrid scheme. */
+    static Scheme
+    rrmScheme()
+    {
+        Scheme s;
+        s.kind = SchemeKind::Rrm;
+        return s;
+    }
+
+    /**
+     * Write mode whose retention sets the global self-refresh
+     * interval: the static mode, or the RRM's slow mode (7-SETs).
+     */
+    pcm::WriteMode
+    globalRefreshMode() const
+    {
+        return kind == SchemeKind::Static ? staticMode
+                                          : pcm::WriteMode::Sets7;
+    }
+
+    std::string
+    name() const
+    {
+        if (kind == SchemeKind::Rrm)
+            return "RRM";
+        return "Static-" +
+               std::to_string(pcm::setIterations(staticMode)) + "-SETs";
+    }
+};
+
+/** All six schemes of Table VI, Static-7 first, RRM last. */
+inline std::vector<Scheme>
+allSchemes()
+{
+    std::vector<Scheme> v;
+    for (auto it = pcm::allWriteModes.rbegin();
+         it != pcm::allWriteModes.rend(); ++it) {
+        v.push_back(Scheme::staticScheme(*it));
+    }
+    v.push_back(Scheme::rrmScheme());
+    return v;
+}
+
+/** The five static schemes, Static-7 first. */
+inline std::vector<Scheme>
+staticSchemes()
+{
+    auto v = allSchemes();
+    v.pop_back();
+    return v;
+}
+
+} // namespace rrm::sys
+
+#endif // RRM_SYSTEM_SCHEME_HH

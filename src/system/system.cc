@@ -1,0 +1,423 @@
+/**
+ * @file
+ * System implementation.
+ */
+
+#include "system.hh"
+
+#include "common/logging.hh"
+
+namespace rrm::sys
+{
+
+void
+SystemConfig::finalize()
+{
+    if (workload.name.empty())
+        fatal("system config has no workload");
+    if (hierarchy.numCores != trace::workloadCores)
+        fatal("hierarchy must have ", trace::workloadCores, " cores");
+    if (timeScale < 1.0)
+        fatal("time scale must be >= 1");
+    if (windowSeconds <= 0.0)
+        fatal("window must be positive");
+    if (warmupFraction < 0.0 || warmupFraction >= 1.0)
+        fatal("warmup fraction must be in [0, 1)");
+    rrm.timeScale = timeScale;
+    rrm.check();
+
+    if (!customProfiles.empty() &&
+        customProfiles.size() != hierarchy.numCores) {
+        fatal("customProfiles must supply one profile per core");
+    }
+    const std::uint64_t slice =
+        memory.memoryBytes / hierarchy.numCores;
+    for (unsigned c = 0; c < hierarchy.numCores; ++c) {
+        const auto &profile =
+            customProfiles.empty()
+                ? trace::benchmarkProfile(workload.perCore[c])
+                : *customProfiles[c];
+        if (profile.footprintBytes() > slice) {
+            fatal("benchmark ", profile.name, " footprint exceeds the ",
+                  slice, "-byte per-core slice");
+        }
+    }
+}
+
+System::System(SystemConfig config)
+    : config_(std::move(config)),
+      statRoot_("system"),
+      wear_(config_.memory.memoryBytes, 4_KiB,
+            config_.memory.blockBytes),
+      energy_(config_.energy)
+{
+    config_.finalize();
+    timeScaleInt_ = static_cast<std::uint64_t>(config_.timeScale);
+    if (timeScaleInt_ < 1)
+        timeScaleInt_ = 1;
+
+    hierarchy_ =
+        std::make_unique<cache::CacheHierarchy>(config_.hierarchy);
+    controller_ =
+        std::make_unique<memctrl::Controller>(config_.memory, queue_);
+
+    controller_->setWriteIssuedHook([this] {
+        drainWritebacks();
+        wakeCores();
+    });
+    controller_->setCompletionHook(
+        [this](const memctrl::Request &req, Tick) {
+            if (req.kind == memctrl::ReqKind::RrmRefresh)
+                drainRefreshOverflow();
+        });
+
+    if (config_.scheme.kind == SchemeKind::Rrm) {
+        rrm_ = std::make_unique<monitor::RegionMonitor>(config_.rrm,
+                                                        queue_);
+        rrm_->setRefreshCallback(
+            [this](const monitor::RefreshRequest &req) {
+                onRrmRefresh(req);
+            });
+    }
+
+    if (config_.profileRegionWrites) {
+        // Table III interval buckets, compressed by the time scale:
+        // the paper's 1e6..1e9 ns and 1 s / 2 s rows.
+        const double s = config_.timeScale;
+        std::vector<std::uint64_t> bounds;
+        for (double b : {1e6, 1e7, 1e8, 1e9, 2e9}) {
+            bounds.push_back(
+                static_cast<std::uint64_t>(b * tickPerNs / s));
+        }
+        profiler_ = std::make_unique<RegionWriteProfiler>(
+            4_KiB, config_.memory.memoryBytes / 4_KiB,
+            std::move(bounds));
+    }
+
+    hierarchy_->regStats(statRoot_);
+    controller_->regStats(statRoot_);
+    if (rrm_)
+        rrm_->regStats(statRoot_);
+
+    auto &g = statRoot_.addChild("sys");
+    statFillRefusals_ =
+        &g.addScalar("fillRefusals", "fills refused by backpressure");
+    statWritebackBlocked_ = &g.addScalar(
+        "writebackBlocked", "times the writeback buffer filled");
+    statRefreshOverflows_ = &g.addScalar(
+        "refreshOverflows", "RRM refreshes that found a full queue");
+
+    buildCores();
+}
+
+System::~System() = default;
+
+void
+System::buildCores()
+{
+    const std::uint64_t slice =
+        config_.memory.memoryBytes / config_.hierarchy.numCores;
+    Random seeder(config_.seed);
+    for (unsigned c = 0; c < config_.hierarchy.numCores; ++c) {
+        const auto &profile =
+            config_.customProfiles.empty()
+                ? trace::benchmarkProfile(config_.workload.perCore[c])
+                : *config_.customProfiles[c];
+        trace::TraceGenerator gen(profile, seeder.next());
+        auto core = std::make_unique<cpu::CoreModel>(
+            c, config_.core, std::move(gen), *hierarchy_, *this, queue_,
+            static_cast<Addr>(c) * slice);
+        core->regStats(statRoot_);
+        cores_.push_back(std::move(core));
+    }
+}
+
+bool
+System::requestFill(unsigned core, Addr line, bool is_write, Tick when)
+{
+    (void)is_write;
+    if (outstandingFills_ >= hierarchy_->llcMshrs() ||
+        writebackBuffer_.size() >= config_.writebackBufferCap) {
+        if (statFillRefusals_)
+            ++*statFillRefusals_;
+        return false;
+    }
+    ++outstandingFills_;
+    if (when <= queue_.now()) {
+        tryEnqueueRead(core, line);
+    } else {
+        queue_.schedule(when,
+                        [this, core, line] { tryEnqueueRead(core, line); });
+    }
+    return true;
+}
+
+void
+System::tryEnqueueRead(unsigned core, Addr line)
+{
+    RRM_ASSERT(line < config_.memory.memoryBytes, "bad read line");
+    const bool ok = controller_->enqueueRead(
+        line, [this, core, line](Tick) { onReadComplete(core, line); });
+    if (!ok) {
+        // Per-channel read queue momentarily full; retry shortly.
+        queue_.scheduleAfter(
+            100_ns, [this, core, line] { tryEnqueueRead(core, line); });
+    }
+}
+
+void
+System::onReadComplete(unsigned core, Addr line)
+{
+    ++memReads_;
+    readEnergy_ += energy_.blockReadEnergy();
+    cores_[core]->onFillComplete(line);
+    RRM_ASSERT(outstandingFills_ > 0, "fill accounting underflow");
+    --outstandingFills_;
+    wakeCores();
+}
+
+void
+System::handleAccessEvents(unsigned core,
+                           const cache::HierarchyEvents &ev, Tick when)
+{
+    (void)core;
+    if (ev.registration && rrm_) {
+        rrm_->registerLlcWrite(ev.registrationAddr,
+                               ev.registrationWasDirty);
+    }
+    if (ev.memWrite)
+        issueMemoryWrite(ev.memWriteAddr, when);
+}
+
+void
+System::issueMemoryWrite(Addr addr, Tick when)
+{
+    RRM_ASSERT(addr < config_.memory.memoryBytes, "bad write addr");
+    pcm::WriteMode mode;
+    if (rrm_) {
+        mode = rrm_->writeModeFor(addr);
+        when += rrm_->accessLatency();
+    } else {
+        mode = config_.scheme.staticMode;
+    }
+
+    wear_.recordBlockWrite(addr, pcm::WearCause::DemandWrite);
+    demandWriteEnergy_ += energy_.blockWriteEnergy(mode);
+    if (mode == config_.rrm.fastMode && rrm_)
+        ++fastWrites_;
+    else
+        ++slowWrites_;
+    if (profiler_)
+        profiler_->recordWrite(addr, when);
+
+    if (when <= queue_.now()) {
+        queueWriteback(addr, mode);
+    } else {
+        queue_.schedule(
+            when, [this, addr, mode] { queueWriteback(addr, mode); });
+    }
+}
+
+void
+System::queueWriteback(Addr addr, pcm::WriteMode mode)
+{
+    writebackBuffer_.push_back(PendingWrite{addr, mode});
+    if (writebackBuffer_.size() >= config_.writebackBufferCap &&
+        statWritebackBlocked_) {
+        ++*statWritebackBlocked_;
+    }
+    drainWritebacks();
+}
+
+void
+System::drainWritebacks()
+{
+    // Guard re-entrancy: enqueueWrite can issue a write synchronously,
+    // which fires the write-issued hook, which calls back into here.
+    if (drainingWritebacks_)
+        return;
+    drainingWritebacks_ = true;
+    while (!writebackBuffer_.empty()) {
+        const PendingWrite w = writebackBuffer_.front();
+        if (!controller_->enqueueWrite(w.addr, w.mode))
+            break;
+        writebackBuffer_.pop_front();
+    }
+    drainingWritebacks_ = false;
+}
+
+void
+System::onRrmRefresh(const monitor::RefreshRequest &req)
+{
+    RRM_ASSERT(req.blockAddr < config_.memory.memoryBytes,
+               "bad refresh addr");
+    wear_.recordBlockWrite(req.blockAddr, pcm::WearCause::RrmRefresh);
+    rrmRefreshEnergy_ += energy_.blockRefreshEnergy(req.mode);
+    if (req.mode == config_.rrm.fastMode)
+        ++rrmFastRefreshes_;
+    else
+        ++rrmSlowRefreshes_;
+
+    bool timing_visible = false;
+    switch (config_.refreshTiming) {
+      case RefreshTimingMode::Detailed:
+        timing_visible = true;
+        break;
+      case RefreshTimingMode::RateCorrected:
+        timing_visible = (refreshSeq_++ % timeScaleInt_) == 0;
+        break;
+      case RefreshTimingMode::CountOnly:
+        timing_visible = false;
+        break;
+    }
+    if (!timing_visible)
+        return;
+
+    if (!controller_->enqueueRefresh(req.blockAddr, req.mode)) {
+        refreshOverflow_.push_back(
+            PendingWrite{req.blockAddr, req.mode});
+        if (statRefreshOverflows_)
+            ++*statRefreshOverflows_;
+    }
+}
+
+void
+System::drainRefreshOverflow()
+{
+    if (drainingRefreshes_)
+        return;
+    drainingRefreshes_ = true;
+    while (!refreshOverflow_.empty()) {
+        const PendingWrite r = refreshOverflow_.front();
+        if (!controller_->enqueueRefresh(r.addr, r.mode))
+            break;
+        refreshOverflow_.pop_front();
+    }
+    drainingRefreshes_ = false;
+}
+
+void
+System::wakeCores()
+{
+    if (outstandingFills_ >= hierarchy_->llcMshrs() ||
+        writebackBuffer_.size() >= config_.writebackBufferCap) {
+        return;
+    }
+    for (auto &core : cores_)
+        core->resume();
+}
+
+void
+System::resetMeasurement()
+{
+    statRoot_.reset();
+    wear_.reset();
+    readEnergy_ = demandWriteEnergy_ = rrmRefreshEnergy_ = 0.0;
+    memReads_ = 0;
+    fastWrites_ = slowWrites_ = 0;
+    rrmFastRefreshes_ = rrmSlowRefreshes_ = 0;
+    for (auto &core : cores_)
+        core->resetInstructionCount();
+    if (profiler_)
+        profiler_->reset();
+}
+
+SimResults
+System::run()
+{
+    const Tick end = secondsToTicks(config_.windowSeconds);
+    const Tick warmup_end =
+        secondsToTicks(config_.windowSeconds * config_.warmupFraction);
+
+    for (auto &core : cores_)
+        core->start();
+    if (rrm_)
+        rrm_->start();
+
+    queue_.run(warmup_end);
+    resetMeasurement();
+    const Tick measure_start = queue_.now();
+
+    queue_.run(end);
+    return collectResults(measure_start, end);
+}
+
+SimResults
+System::collectResults(Tick measure_start, Tick measure_end)
+{
+    SimResults r;
+    r.workload = config_.workload.name;
+    r.scheme = config_.scheme.name();
+    r.timeScale = config_.timeScale;
+
+    const Tick elapsed = measure_end - measure_start;
+    const double window = ticksToSeconds(elapsed);
+    r.windowSeconds = window;
+
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        r.instructions[c] = cores_[c]->instructionsRetired();
+        r.totalInstructions += r.instructions[c];
+        r.ipcPerCore[c] = cores_[c]->ipc(elapsed);
+        r.aggregateIpc += r.ipcPerCore[c];
+    }
+
+    if (const auto *misses = dynamic_cast<const stats::Scalar *>(
+            statRoot_.find("llc.misses"))) {
+        r.llcMisses = static_cast<std::uint64_t>(misses->value());
+    }
+    if (r.totalInstructions > 0) {
+        r.mpki = 1000.0 * static_cast<double>(r.llcMisses) /
+                 static_cast<double>(r.totalInstructions);
+    }
+
+    r.memReads = memReads_;
+    r.fastWrites = fastWrites_;
+    r.slowWrites = slowWrites_;
+    r.demandWrites = fastWrites_ + slowWrites_;
+    r.rrmFastRefreshes = rrmFastRefreshes_;
+    r.rrmSlowRefreshes = rrmSlowRefreshes_;
+
+    pcm::WearMeasurement wm;
+    wm.demandWrites = r.demandWrites;
+    wm.rrmRefreshWrites = rrmFastRefreshes_ + rrmSlowRefreshes_;
+    wm.windowSeconds = window;
+    wm.timeScale = config_.timeScale;
+    wm.globalRefreshMode = config_.scheme.globalRefreshMode();
+
+    const pcm::LifetimeModel lifetime(
+        config_.memory.memoryBytes / config_.memory.blockBytes,
+        config_.lifetime);
+    r.demandWriteRate = lifetime.demandWriteRate(wm);
+    r.rrmRefreshRate = lifetime.rrmRefreshRate(wm);
+    r.globalRefreshRate = lifetime.globalRefreshRate(wm);
+    r.lifetimeYears = lifetime.lifetimeYears(wm);
+
+    r.readPower = readEnergy_ / window;
+    r.demandWritePower = demandWriteEnergy_ / window;
+    r.rrmRefreshPower =
+        rrmRefreshEnergy_ / (window * config_.timeScale);
+    r.globalRefreshPower =
+        r.globalRefreshRate *
+        energy_.blockRefreshEnergy(*wm.globalRefreshMode);
+
+    if (rrm_) {
+        auto scalar = [&](const char *name) -> std::uint64_t {
+            const auto *s = dynamic_cast<const stats::Scalar *>(
+                statRoot_.find(std::string("rrm.") + name));
+            return s ? static_cast<std::uint64_t>(s->value()) : 0;
+        };
+        r.rrmRegistrations = scalar("registrations");
+        r.rrmCleanFiltered = scalar("cleanFiltered");
+        r.rrmRegistrationHits = scalar("registrationHits");
+        r.rrmAllocations = scalar("allocations");
+        r.rrmEvictions = scalar("evictions");
+        r.rrmPromotions = scalar("promotions");
+        r.rrmDemotions = scalar("demotions");
+        r.rrmEvictionFlushes = scalar("evictionFlushes");
+        r.rrmHotEntriesAtEnd = rrm_->hotEntryCount();
+    }
+
+    return r;
+}
+
+} // namespace rrm::sys

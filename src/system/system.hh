@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Full-system assembly: cores + caches + (optional) RRM + PCM memory
+ * controller, plus the measurement machinery that turns one run into
+ * a SimResults record.
+ */
+
+#ifndef RRM_SYSTEM_SYSTEM_HH
+#define RRM_SYSTEM_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "memctrl/controller.hh"
+#include "pcm/energy_model.hh"
+#include "pcm/lifetime_model.hh"
+#include "pcm/wear_tracker.hh"
+#include "rrm/region_monitor.hh"
+#include "system/region_profiler.hh"
+#include "system/results.hh"
+#include "system/scheme.hh"
+#include "trace/workload.hh"
+
+namespace rrm::sys
+{
+
+/** How RRM refresh requests interact with the timing model. */
+enum class RefreshTimingMode : std::uint8_t
+{
+    /**
+     * Rate-corrected (default): with retention intervals compressed
+     * `timeScale x`, only one of every `timeScale` refreshes enters
+     * the timing queues, restoring the real-time refresh bandwidth;
+     * all of them count for wear/energy. See DESIGN.md section 3.
+     */
+    RateCorrected = 0,
+
+    /** Every refresh enters the timing queues (native-scale runs). */
+    Detailed,
+
+    /** Refreshes are counted but never enter the timing queues. */
+    CountOnly,
+};
+
+/** Everything needed to build and run one simulation. */
+struct SystemConfig
+{
+    trace::Workload workload;
+    Scheme scheme = Scheme::staticScheme(pcm::WriteMode::Sets7);
+
+    cpu::CoreParams core;
+    cache::HierarchyConfig hierarchy = cache::defaultHierarchyConfig();
+    memctrl::MemoryParams memory;
+    monitor::RrmConfig rrm; ///< used only when scheme.kind == Rrm
+
+    /**
+     * Retention-interval compression (DESIGN.md section 3). 50 with
+     * the default 100 ms window represents the paper's 5 s run while
+     * keeping the scaled retention interval (40 ms) well above the
+     * LLC residency timescale (~3 ms) that gates the RRM's
+     * dirty-write filter.
+     */
+    double timeScale = 50.0;
+
+    /** Simulated window, in (scaled) seconds. */
+    double windowSeconds = 0.100;
+
+    /** Leading fraction of the window excluded from measurement. */
+    double warmupFraction = 0.2;
+
+    RefreshTimingMode refreshTiming = RefreshTimingMode::RateCorrected;
+
+    /** LLC writeback buffer entries (dirty victims awaiting a queue). */
+    unsigned writebackBufferCap = 16;
+
+    pcm::LifetimeParams lifetime;
+    pcm::EnergyParams energy;
+
+    /** Enable the Table III region write profiler. */
+    bool profileRegionWrites = false;
+
+    /**
+     * Optional user-supplied per-core profiles. When non-empty (must
+     * then have one entry per core), these override the workload's
+     * Table VII benchmark profiles; the pointed-to profiles must
+     * outlive the System. This is the seam for evaluating custom
+     * application mixes (see examples/custom_workload.cpp).
+     */
+    std::vector<const trace::BenchmarkProfile *> customProfiles;
+
+    std::uint64_t seed = 1;
+
+    /** Fill derived fields (rrm.timeScale) and validate. */
+    void finalize();
+};
+
+/** One fully wired simulated machine. */
+class System : public cpu::CorePort
+{
+  public:
+    explicit System(SystemConfig config);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run warmup + measurement; return the collected results. */
+    SimResults run();
+
+    /** The Table III profiler (nullptr unless enabled). */
+    const RegionWriteProfiler *regionProfiler() const
+    {
+        return profiler_.get();
+    }
+
+    /** The RRM (nullptr for static schemes). */
+    const monitor::RegionMonitor *rrm() const { return rrm_.get(); }
+
+    const SystemConfig &config() const { return config_; }
+    const stats::StatGroup &statRoot() const { return statRoot_; }
+    EventQueue &eventQueue() { return queue_; }
+
+    // ---- CorePort ----
+    bool requestFill(unsigned core, Addr line, bool is_write,
+                     Tick when) override;
+    void handleAccessEvents(unsigned core,
+                            const cache::HierarchyEvents &ev,
+                            Tick when) override;
+
+  private:
+    void buildCores();
+    void tryEnqueueRead(unsigned core, Addr line);
+    void onReadComplete(unsigned core, Addr line);
+    void issueMemoryWrite(Addr addr, Tick when);
+    void queueWriteback(Addr addr, pcm::WriteMode mode);
+    void drainWritebacks();
+    void onRrmRefresh(const monitor::RefreshRequest &req);
+    void drainRefreshOverflow();
+    void wakeCores();
+    void resetMeasurement();
+    SimResults collectResults(Tick measure_start, Tick measure_end);
+
+    SystemConfig config_;
+    EventQueue queue_;
+    stats::StatGroup statRoot_;
+
+    std::unique_ptr<cache::CacheHierarchy> hierarchy_;
+    std::unique_ptr<memctrl::Controller> controller_;
+    std::unique_ptr<monitor::RegionMonitor> rrm_;
+    std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
+
+    pcm::WearTracker wear_;
+    pcm::EnergyModel energy_;
+    std::unique_ptr<RegionWriteProfiler> profiler_;
+
+    // Global fill (LLC MSHR) accounting.
+    unsigned outstandingFills_ = 0;
+
+    // Writeback buffer between LLC and the controller write queues.
+    struct PendingWrite
+    {
+        Addr addr;
+        pcm::WriteMode mode;
+    };
+    std::deque<PendingWrite> writebackBuffer_;
+
+    // RRM refresh requests that found their queue full.
+    std::deque<PendingWrite> refreshOverflow_;
+
+    // Re-entrancy guards for the drain loops (hooks call back in).
+    bool drainingWritebacks_ = false;
+    bool drainingRefreshes_ = false;
+
+    // Rate-correction rotation counter.
+    std::uint64_t refreshSeq_ = 0;
+    std::uint64_t timeScaleInt_ = 1;
+
+    // Measurement accumulators (reset after warmup).
+    double readEnergy_ = 0.0;
+    double demandWriteEnergy_ = 0.0;
+    double rrmRefreshEnergy_ = 0.0;
+    std::uint64_t memReads_ = 0;
+    std::uint64_t fastWrites_ = 0;
+    std::uint64_t slowWrites_ = 0;
+    std::uint64_t rrmFastRefreshes_ = 0;
+    std::uint64_t rrmSlowRefreshes_ = 0;
+
+    stats::Scalar *statFillRefusals_ = nullptr;
+    stats::Scalar *statWritebackBlocked_ = nullptr;
+    stats::Scalar *statRefreshOverflows_ = nullptr;
+};
+
+} // namespace rrm::sys
+
+#endif // RRM_SYSTEM_SYSTEM_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Memory access records produced by the workload generators and
+ * consumed by the core model / cache hierarchy.
+ */
+
+#ifndef RRM_TRACE_ACCESS_HH
+#define RRM_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace rrm::trace
+{
+
+/** Kind of a core-level memory operation. */
+enum class AccessType : std::uint8_t
+{
+    Read = 0,
+    Write,
+};
+
+/**
+ * One memory instruction in a synthetic trace.
+ *
+ * `gapInstructions` is the number of non-memory instructions the core
+ * executes before this access issues; the generator draws it from the
+ * profile's memory-intensity distribution.
+ */
+struct TraceRecord
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+    std::uint32_t gapInstructions = 0;
+};
+
+} // namespace rrm::trace
+
+#endif // RRM_TRACE_ACCESS_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Benchmark profile table.
+ *
+ * Component parameters below were calibrated against the simulated
+ * cache hierarchy (4 cores, 32 KB L1D, 256 KB L2, 6 MB shared LLC) so
+ * that realized MPKI approximates Table VII. Where SPEC behaviour is
+ * documented in the literature it guided the mixture choice:
+ * libquantum/lbm are streaming, mcf is pointer chasing over a large
+ * heap, GemsFDTD/zeusmp/leslie3d re-sweep grid working sets (the hot
+ * written regions of Table III), hmmer is cache resident.
+ */
+
+#include "benchmark.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace rrm::trace
+{
+
+std::unique_ptr<AccessPattern>
+PatternSpec::build() const
+{
+    switch (kind) {
+      case Kind::Stride:
+        return std::make_unique<StridePattern>(footprintBytes,
+                                               strideBytes,
+                                               writeFraction);
+      case Kind::ZipfRegion:
+        return std::make_unique<ZipfRegionPattern>(
+            footprintBytes / regionBytes, regionBytes, zipfSkew,
+            writeFraction, maxBurstBlocks);
+      case Kind::Chase:
+        return std::make_unique<ChasePattern>(footprintBytes,
+                                              writeFraction);
+    }
+    panic("invalid pattern kind");
+}
+
+std::uint64_t
+BenchmarkProfile::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : patterns)
+        total += p.footprintBytes;
+    return total;
+}
+
+namespace
+{
+
+using Kind = PatternSpec::Kind;
+
+PatternSpec
+stride(double weight, std::uint64_t footprint, double wf,
+       std::uint64_t stride_bytes)
+{
+    PatternSpec s{};
+    s.kind = Kind::Stride;
+    s.weight = weight;
+    s.footprintBytes = footprint;
+    s.writeFraction = wf;
+    s.strideBytes = stride_bytes;
+    return s;
+}
+
+PatternSpec
+zipf(double weight, std::uint64_t footprint, double wf, double skew,
+     unsigned burst = 8)
+{
+    PatternSpec s{};
+    s.kind = Kind::ZipfRegion;
+    s.weight = weight;
+    s.footprintBytes = footprint;
+    s.writeFraction = wf;
+    s.zipfSkew = skew;
+    s.maxBurstBlocks = burst;
+    return s;
+}
+
+PatternSpec
+chase(double weight, std::uint64_t footprint, double wf)
+{
+    PatternSpec s{};
+    s.kind = Kind::Chase;
+    s.weight = weight;
+    s.footprintBytes = footprint;
+    s.writeFraction = wf;
+    return s;
+}
+
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    std::vector<BenchmarkProfile> p(numBenchmarks);
+
+    // memOpsPerKiloInstr is the rate of *distinct cache line touches*
+    // per kilo-instruction: the generators emit one record per line
+    // touched (intra-line word reuse hits in L1 and is folded into the
+    // instruction gap), so real memory-instruction rates (~300/kinstr)
+    // map to ~1/8 of that in records for array codes and ~1/1 for
+    // pointer chasing.
+
+    p[size_t(Benchmark::Bwaves)] = {
+        "bwaves", 45.0, 11.69,
+        {zipf(0.12, 128_KiB, 0.50, 0.30, 64),
+         zipf(0.61, 1_MiB, 0.50, 0.30, 32),
+         zipf(0.12, 2_MiB, 0.45, 1.00, 16),
+         stride(0.10, 256_MiB, 0.35, 64),
+         chase(0.05, 64_MiB, 0.10)}};
+
+    p[size_t(Benchmark::GemsFDTD)] = {
+        "GemsFDTD", 42.0, 26.56,
+        {zipf(0.16, 192_KiB, 0.60, 0.30, 64),
+         zipf(0.54, 2_MiB, 0.60, 0.30, 32),
+         zipf(0.10, 12_MiB, 0.50, 0.80, 24),
+         stride(0.10, 128_MiB, 0.40, 64),
+         chase(0.10, 256_MiB, 0.05)}};
+
+    p[size_t(Benchmark::Hmmer)] = {
+        "hmmer", 48.0, 2.84,
+        {zipf(0.30, 128_KiB, 0.50, 0.30, 64),
+         zipf(0.64, 768_KiB, 0.50, 0.30, 32),
+         stride(0.04, 64_MiB, 0.30, 64),
+         chase(0.02, 32_MiB, 0.10)}};
+
+    p[size_t(Benchmark::Lbm)] = {
+        "lbm", 60.0, 55.15,
+        {stride(0.68, 512_MiB, 0.50, 64),
+         zipf(0.24, 1_MiB, 0.60, 0.30, 32),
+         zipf(0.03, 2_MiB, 0.50, 0.80, 16),
+         chase(0.05, 128_MiB, 0.05)}};
+
+    p[size_t(Benchmark::Leslie3d)] = {
+        "leslie3d", 40.0, 10.46,
+        {zipf(0.12, 128_KiB, 0.50, 0.30, 64),
+         zipf(0.62, 1_MiB, 0.50, 0.30, 32),
+         zipf(0.08, 3_MiB, 0.50, 1.00, 16),
+         stride(0.13, 192_MiB, 0.40, 64),
+         chase(0.05, 64_MiB, 0.05)}};
+
+    p[size_t(Benchmark::Libquantum)] = {
+        "libquantum", 55.0, 52.07,
+        {stride(0.70, 768_MiB, 0.50, 64),
+         zipf(0.26, 768_KiB, 0.60, 0.30, 32),
+         zipf(0.04, 1_MiB, 0.40, 0.80, 16)}};
+
+    p[size_t(Benchmark::Mcf)] = {
+        "mcf", 110.0, 73.42,
+        {chase(0.44, 768_MiB, 0.15),
+         zipf(0.44, 1_MiB, 0.45, 0.30, 16),
+         zipf(0.08, 128_KiB, 0.45, 0.30, 64),
+         stride(0.04, 96_MiB, 0.25, 64)}};
+
+    p[size_t(Benchmark::Milc)] = {
+        "milc", 50.0, 34.40,
+        {stride(0.27, 384_MiB, 0.45, 64),
+         zipf(0.49, 2_MiB, 0.50, 0.30, 32),
+         zipf(0.14, 4_MiB, 0.50, 0.85, 16),
+         chase(0.10, 256_MiB, 0.10)}};
+
+    p[size_t(Benchmark::Zeusmp)] = {
+        "zeusmp", 38.0, 7.64,
+        {zipf(0.15, 128_KiB, 0.50, 0.30, 64),
+         zipf(0.65, 1_MiB, 0.50, 0.30, 32),
+         zipf(0.10, 3_MiB, 0.50, 1.10, 16),
+         stride(0.07, 96_MiB, 0.40, 64),
+         chase(0.03, 48_MiB, 0.10)}};
+
+    return p;
+}
+
+const std::vector<BenchmarkProfile> &
+profiles()
+{
+    static const std::vector<BenchmarkProfile> table = makeProfiles();
+    return table;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+benchmarkProfile(Benchmark b)
+{
+    const auto idx = static_cast<std::size_t>(b);
+    RRM_ASSERT(idx < numBenchmarks, "invalid benchmark");
+    return profiles()[idx];
+}
+
+std::string_view
+benchmarkName(Benchmark b)
+{
+    return benchmarkProfile(b).name;
+}
+
+Benchmark
+benchmarkFromName(std::string_view name)
+{
+    for (Benchmark b : allBenchmarks)
+        if (benchmarkName(b) == name)
+            return b;
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace rrm::trace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The nine SPEC CPU2006-like benchmark profiles of Table VII.
+ *
+ * SPEC binaries and traces are not redistributable, so each benchmark
+ * is modelled as a weighted mixture of access-pattern components
+ * (pattern.hh) plus a memory-intensity (gap) distribution. Component
+ * parameters are calibrated so the realized LLC MPKI through the
+ * simulated cache hierarchy lands near the paper's Table VII values
+ * and the region-level write behaviour has the Table III shape; the
+ * calibration is asserted by tests/test_profiles.cc.
+ */
+
+#ifndef RRM_TRACE_BENCHMARK_HH
+#define RRM_TRACE_BENCHMARK_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/pattern.hh"
+
+namespace rrm::trace
+{
+
+/** The benchmarks of paper Table VII. */
+enum class Benchmark : std::uint8_t
+{
+    Bwaves = 0,
+    GemsFDTD,
+    Hmmer,
+    Lbm,
+    Leslie3d,
+    Libquantum,
+    Mcf,
+    Milc,
+    Zeusmp,
+};
+
+constexpr std::size_t numBenchmarks = 9;
+
+constexpr std::array<Benchmark, numBenchmarks> allBenchmarks = {
+    Benchmark::Bwaves,   Benchmark::GemsFDTD,   Benchmark::Hmmer,
+    Benchmark::Lbm,      Benchmark::Leslie3d,   Benchmark::Libquantum,
+    Benchmark::Mcf,      Benchmark::Milc,       Benchmark::Zeusmp,
+};
+
+/** Declarative description of one pattern component. */
+struct PatternSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Stride,
+        ZipfRegion,
+        Chase,
+    };
+
+    Kind kind;
+    double weight;               ///< share of the access stream
+    std::uint64_t footprintBytes;
+    double writeFraction;
+
+    // Stride-specific.
+    std::uint64_t strideBytes = 16;
+
+    // ZipfRegion-specific.
+    std::uint64_t regionBytes = 4096;
+    double zipfSkew = 0.8;
+    unsigned maxBurstBlocks = 8;
+
+    /** Instantiate the pattern this spec describes. */
+    std::unique_ptr<AccessPattern> build() const;
+};
+
+/** Full benchmark profile. */
+struct BenchmarkProfile
+{
+    std::string_view name;
+    double memOpsPerKiloInstr; ///< memory instructions per 1000 instr
+    double tableMpki;          ///< paper Table VII LLC MPKI (target)
+    std::vector<PatternSpec> patterns;
+
+    /** Sum of component footprints. */
+    std::uint64_t footprintBytes() const;
+};
+
+/** Profile of a benchmark (singleton, lazily constructed). */
+const BenchmarkProfile &benchmarkProfile(Benchmark b);
+
+/** Benchmark name as used in the paper ("GemsFDTD", ...). */
+std::string_view benchmarkName(Benchmark b);
+
+/** Parse a benchmark name; fatal() on unknown names. */
+Benchmark benchmarkFromName(std::string_view name);
+
+} // namespace rrm::trace
+
+#endif // RRM_TRACE_BENCHMARK_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Address-stream building blocks for synthetic SPEC-like workloads.
+ *
+ * Each pattern emits (address, read/write) pairs inside its private
+ * footprint, starting at address 0; the generator relocates component
+ * footprints into the benchmark's address space. Three families cover
+ * the behaviours the RRM is sensitive to (DESIGN.md section 4):
+ *
+ *  - StridePattern: streaming sweeps (high spatial, no temporal write
+ *    locality — the case the RRM's dirty-write filter must reject);
+ *  - ZipfRegionPattern: a hot region set revisited with Zipf
+ *    popularity (the Table III hot-written regions);
+ *  - ChasePattern: dependent-random pointer chasing (mcf-like, high
+ *    MPKI, read dominant).
+ */
+
+#ifndef RRM_TRACE_PATTERN_HH
+#define RRM_TRACE_PATTERN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "trace/access.hh"
+
+namespace rrm::trace
+{
+
+/** Base interface of an address-stream component. */
+class AccessPattern
+{
+  public:
+    virtual ~AccessPattern() = default;
+
+    /** Produce the next access (address relative to the footprint). */
+    virtual void next(Random &rng, Addr &addr, AccessType &type) = 0;
+
+    /** Bytes of address space this pattern touches. */
+    virtual std::uint64_t footprintBytes() const = 0;
+};
+
+/**
+ * Streaming sweep: a read cursor and a write cursor advance through
+ * disjoint halves of the footprint with a fixed element stride
+ * (stream-copy style). Each region is written in one pass and then not
+ * touched again until the sweep wraps around the whole footprint.
+ */
+class StridePattern : public AccessPattern
+{
+  public:
+    /**
+     * @param footprint_bytes Total footprint (read + write streams).
+     * @param stride_bytes    Element stride.
+     * @param write_fraction  Probability an access is a (write-stream)
+     *                        store.
+     */
+    StridePattern(std::uint64_t footprint_bytes,
+                  std::uint64_t stride_bytes, double write_fraction);
+
+    void next(Random &rng, Addr &addr, AccessType &type) override;
+    std::uint64_t footprintBytes() const override { return footprint_; }
+
+  private:
+    std::uint64_t footprint_;
+    std::uint64_t stride_;
+    double writeFraction_;
+    std::uint64_t half_;
+    Addr readCursor_ = 0;
+    Addr writeCursor_ = 0;
+};
+
+/**
+ * Zipf-popular region set: each access picks a region with Zipf(s)
+ * popularity, then performs a short sequential burst of block-sized
+ * accesses inside it. The popular head of the region set is revisited
+ * at an interval set by the pattern's share of the access stream —
+ * this is the hot-written working set the RRM exists to find.
+ */
+class ZipfRegionPattern : public AccessPattern
+{
+  public:
+    /**
+     * @param num_regions     Region count.
+     * @param region_bytes    Region size (the paper uses 4 KB).
+     * @param zipf_skew       Zipf exponent (higher = hotter head).
+     * @param write_fraction  Probability an access is a store.
+     * @param max_burst_blocks Max sequential 64 B blocks per burst.
+     */
+    ZipfRegionPattern(std::uint64_t num_regions,
+                      std::uint64_t region_bytes, double zipf_skew,
+                      double write_fraction,
+                      unsigned max_burst_blocks = 8);
+
+    void next(Random &rng, Addr &addr, AccessType &type) override;
+
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return numRegions_ * regionBytes_;
+    }
+
+  private:
+    void startBurst(Random &rng);
+
+    std::uint64_t numRegions_;
+    std::uint64_t regionBytes_;
+    double writeFraction_;
+    unsigned maxBurstBlocks_;
+    ZipfSampler zipf_;
+
+    Addr burstBase_ = 0;
+    unsigned burstLeft_ = 0;
+    unsigned burstBlock_ = 0;
+    bool burstIsWrite_ = false;
+};
+
+/**
+ * Pointer chase: uniformly random block-granularity accesses over a
+ * large footprint, read-dominant, no spatial locality.
+ */
+class ChasePattern : public AccessPattern
+{
+  public:
+    ChasePattern(std::uint64_t footprint_bytes, double write_fraction);
+
+    void next(Random &rng, Addr &addr, AccessType &type) override;
+    std::uint64_t footprintBytes() const override { return footprint_; }
+
+  private:
+    std::uint64_t footprint_;
+    double writeFraction_;
+};
+
+} // namespace rrm::trace
+
+#endif // RRM_TRACE_PATTERN_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload table implementation.
+ */
+
+#include "workload.hh"
+
+#include "common/logging.hh"
+
+namespace rrm::trace
+{
+
+Workload
+singleWorkload(Benchmark b)
+{
+    return Workload{std::string(benchmarkName(b)), {b, b, b, b}};
+}
+
+Workload
+mix1Workload()
+{
+    return Workload{"MIX_1",
+                    {Benchmark::Mcf, Benchmark::Bwaves, Benchmark::Zeusmp,
+                     Benchmark::Milc}};
+}
+
+Workload
+mix2Workload()
+{
+    return Workload{"MIX_2",
+                    {Benchmark::GemsFDTD, Benchmark::Libquantum,
+                     Benchmark::Lbm, Benchmark::Leslie3d}};
+}
+
+std::vector<Workload>
+standardWorkloads()
+{
+    std::vector<Workload> all;
+    for (Benchmark b : allBenchmarks)
+        all.push_back(singleWorkload(b));
+    all.push_back(mix1Workload());
+    all.push_back(mix2Workload());
+    return all;
+}
+
+Workload
+workloadFromName(const std::string &name)
+{
+    for (auto &w : standardWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace rrm::trace

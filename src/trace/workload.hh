@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Multi-core workload definitions (paper Table VII).
+ *
+ * A workload assigns one benchmark copy to each of the four cores:
+ * single-benchmark workloads run four identical copies (with distinct
+ * seeds and address slices); MIX_1 and MIX_2 combine four different
+ * benchmarks.
+ */
+
+#ifndef RRM_TRACE_WORKLOAD_HH
+#define RRM_TRACE_WORKLOAD_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/benchmark.hh"
+
+namespace rrm::trace
+{
+
+/** Number of cores every workload targets. */
+constexpr std::size_t workloadCores = 4;
+
+/** A named 4-core benchmark assignment. */
+struct Workload
+{
+    std::string name;
+    std::array<Benchmark, workloadCores> perCore;
+};
+
+/** The single-benchmark workload for `b` (4 identical copies). */
+Workload singleWorkload(Benchmark b);
+
+/** MIX_1 = mcf + bwaves + zeusmp + milc. */
+Workload mix1Workload();
+
+/** MIX_2 = GemsFDTD + libquantum + lbm + leslie3d. */
+Workload mix2Workload();
+
+/**
+ * The paper's full evaluation set: the 9 single-benchmark workloads
+ * followed by MIX_1 and MIX_2.
+ */
+std::vector<Workload> standardWorkloads();
+
+/** Look a standard workload up by name; fatal() if unknown. */
+Workload workloadFromName(const std::string &name);
+
+} // namespace rrm::trace
+
+#endif // RRM_TRACE_WORKLOAD_HH

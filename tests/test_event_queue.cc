@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the event-driven simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace rrm
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(300, [&] { order.push_back(3); });
+    q.schedule(100, [&] { order.push_back(1); });
+    q.schedule(200, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 300u);
+}
+
+TEST(EventQueue, PriorityBreaksTiesWithinTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(50, [&] { order.push_back(2); },
+               EventPriority::Default);
+    q.schedule(50, [&] { order.push_back(1); },
+               EventPriority::RefreshInterrupt);
+    q.schedule(50, [&] { order.push_back(3); }, EventPriority::CpuTick);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTickAndPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesTime)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(100, [&] { ++fired; });
+    q.schedule(200, [&] { ++fired; });
+    EXPECT_EQ(q.run(150), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 150u);
+    EXPECT_EQ(q.run(200), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(100, [&] { ++fired; });
+    q.run(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(10, EventQueue::Callback{}), PanicError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.cancel(id);
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.cancel(12345);
+    EXPECT_EQ(q.run(), 1u);
+}
+
+TEST(EventQueue, ReentrantSchedulingFromCallback)
+{
+    EventQueue q;
+    std::vector<Tick> fire_times;
+    q.schedule(10, [&] {
+        fire_times.push_back(q.now());
+        q.schedule(15, [&] { fire_times.push_back(q.now()); });
+        // Same-tick reentrant scheduling runs later this tick.
+        q.schedule(10, [&] { fire_times.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(fire_times, (std::vector<Tick>{10, 10, 15}));
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.eventsExecuted(), 10u);
+}
+
+TEST(EventQueue, SizeTracksPending)
+{
+    EventQueue q;
+    const auto a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(PeriodicTask, FiresAtFixedIntervals)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    PeriodicTask task(q, 100, 50, [&] { fires.push_back(q.now()); });
+    q.run(375);
+    EXPECT_EQ(fires, (std::vector<Tick>{50, 150, 250, 350}));
+    EXPECT_TRUE(task.running());
+}
+
+TEST(PeriodicTask, StopCancelsFutureFirings)
+{
+    EventQueue q;
+    int fires = 0;
+    PeriodicTask task(q, 100, 100, [&] { ++fires; });
+    q.run(250);
+    task.stop();
+    q.run(1000);
+    EXPECT_EQ(fires, 2);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromInsideCallback)
+{
+    EventQueue q;
+    int fires = 0;
+    PeriodicTask task(q, 10, 10, [&] {
+        ++fires;
+        if (fires == 3)
+            task.stop();
+    });
+    q.run(1000);
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, DestructorStops)
+{
+    EventQueue q;
+    int fires = 0;
+    {
+        PeriodicTask task(q, 10, 10, [&] { ++fires; });
+        q.run(25);
+    }
+    q.run(1000);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTask, ZeroPeriodPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(PeriodicTask(q, 0, 10, [] {}), PanicError);
+}
+
+} // namespace
+} // namespace rrm

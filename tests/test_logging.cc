@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the logging / error-reporting primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace rrm
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsPrefixedAndConcatenated)
+{
+    try {
+        fatal("value ", 42, " is ", "bad");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value 42 is bad");
+    }
+}
+
+TEST(Logging, PanicMessageIsPrefixed)
+{
+    try {
+        panic("x=", 1.5);
+        FAIL() << "panic() returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: x=1.5");
+    }
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    log_detail::setQuiet(true);
+    const auto before = log_detail::warnCount();
+    warn("something odd: ", 7);
+    warn("again");
+    EXPECT_EQ(log_detail::warnCount(), before + 2);
+    log_detail::setQuiet(false);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(RRM_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(RRM_ASSERT(false, "expected failure"), PanicError);
+}
+
+TEST(Logging, AssertMessageNamesCondition)
+{
+    try {
+        RRM_ASSERT(2 < 1, "two below one");
+        FAIL() << "assert passed";
+    } catch (const PanicError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+        EXPECT_NE(msg.find("two below one"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace rrm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the Table III region write profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/region_profiler.hh"
+
+namespace rrm::sys
+{
+namespace
+{
+
+RegionWriteProfiler
+makeProfiler()
+{
+    // 64 regions of 4 KB; boundaries at 100 and 1000 ticks.
+    return RegionWriteProfiler(4096, 64, {100, 1000});
+}
+
+TEST(RegionProfiler, CountsWritesAndRegions)
+{
+    auto p = makeProfiler();
+    p.recordWrite(0, 10);
+    p.recordWrite(4096, 20);
+    p.recordWrite(64, 30);
+    EXPECT_EQ(p.totalWrites(), 3u);
+    EXPECT_EQ(p.writtenRegions(), 2u);
+    EXPECT_EQ(p.neverWrittenRegions(), 62u);
+}
+
+TEST(RegionProfiler, IntervalsAreHistogrammed)
+{
+    auto p = makeProfiler();
+    p.recordWrite(0, 0);
+    p.recordWrite(0, 50);    // interval 50 -> bucket 0
+    p.recordWrite(0, 550);   // interval 500 -> bucket 1
+    p.recordWrite(0, 5000);  // interval 4450 -> bucket 2
+    const auto &h = p.intervalHistogram();
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(RegionProfiler, FirstWritePerRegionHasNoInterval)
+{
+    auto p = makeProfiler();
+    p.recordWrite(0, 10);
+    p.recordWrite(4096, 10);
+    EXPECT_EQ(p.intervalHistogram().total(), 0u);
+}
+
+TEST(RegionProfiler, WrittenOnceRegions)
+{
+    auto p = makeProfiler();
+    p.recordWrite(0, 10);
+    p.recordWrite(4096, 10);
+    p.recordWrite(4096, 20);
+    EXPECT_EQ(p.writtenOnceRegions(), 1u);
+}
+
+TEST(RegionProfiler, RegionsByMeanIntervalClassifiesRegions)
+{
+    auto p = makeProfiler();
+    // Region 0: writes every 50 ticks (bucket 0).
+    for (int i = 0; i <= 4; ++i)
+        p.recordWrite(0, static_cast<Tick>(i) * 50);
+    // Region 1: writes every 500 ticks (bucket 1).
+    for (int i = 0; i <= 3; ++i)
+        p.recordWrite(4096, static_cast<Tick>(i) * 500);
+    // Region 2: single write: not classified.
+    p.recordWrite(8192, 77);
+    const auto buckets = p.regionsByMeanInterval();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0].regions, 1u);
+    EXPECT_EQ(buckets[0].writes, 5u);
+    EXPECT_EQ(buckets[1].regions, 1u);
+    EXPECT_EQ(buckets[1].writes, 4u);
+    EXPECT_EQ(buckets[2].regions, 0u);
+}
+
+TEST(RegionProfiler, HotRegionFractionOnSkewedTraffic)
+{
+    auto p = makeProfiler();
+    // Region 0 gets 90 writes, regions 1..9 get one each.
+    for (int i = 0; i < 90; ++i)
+        p.recordWrite(0, static_cast<Tick>(i));
+    for (int r = 1; r <= 9; ++r)
+        p.recordWrite(static_cast<Addr>(r) * 4096, 1000 + r);
+    // 90% of the 99 writes (89.1 -> 90 needed) come from region 0
+    // alone: 1 of 64 regions.
+    EXPECT_NEAR(p.hotRegionFraction(0.9), 1.0 / 64.0, 1e-9);
+    // 100% needs all ten written regions.
+    EXPECT_NEAR(p.hotRegionFraction(1.0), 10.0 / 64.0, 1e-9);
+}
+
+TEST(RegionProfiler, HotFractionOfEmptyProfilerIsZero)
+{
+    auto p = makeProfiler();
+    EXPECT_DOUBLE_EQ(p.hotRegionFraction(0.9), 0.0);
+}
+
+TEST(RegionProfiler, ResetClearsState)
+{
+    auto p = makeProfiler();
+    p.recordWrite(0, 1);
+    p.recordWrite(0, 2);
+    p.reset();
+    EXPECT_EQ(p.totalWrites(), 0u);
+    EXPECT_EQ(p.writtenRegions(), 0u);
+    EXPECT_EQ(p.intervalHistogram().total(), 0u);
+}
+
+} // namespace
+} // namespace rrm::sys

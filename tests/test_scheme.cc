@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the Table VI scheme definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/scheme.hh"
+
+namespace rrm::sys
+{
+namespace
+{
+
+TEST(Scheme, StaticNames)
+{
+    EXPECT_EQ(Scheme::staticScheme(pcm::WriteMode::Sets7).name(),
+              "Static-7-SETs");
+    EXPECT_EQ(Scheme::staticScheme(pcm::WriteMode::Sets3).name(),
+              "Static-3-SETs");
+    EXPECT_EQ(Scheme::rrmScheme().name(), "RRM");
+}
+
+TEST(Scheme, GlobalRefreshModeFollowsScheme)
+{
+    EXPECT_EQ(Scheme::staticScheme(pcm::WriteMode::Sets4)
+                  .globalRefreshMode(),
+              pcm::WriteMode::Sets4);
+    // The RRM scheme global-refreshes with slow (7-SETs) writes.
+    EXPECT_EQ(Scheme::rrmScheme().globalRefreshMode(),
+              pcm::WriteMode::Sets7);
+}
+
+TEST(Scheme, AllSchemesTable6Order)
+{
+    const auto all = allSchemes();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0].name(), "Static-7-SETs");
+    EXPECT_EQ(all[1].name(), "Static-6-SETs");
+    EXPECT_EQ(all[2].name(), "Static-5-SETs");
+    EXPECT_EQ(all[3].name(), "Static-4-SETs");
+    EXPECT_EQ(all[4].name(), "Static-3-SETs");
+    EXPECT_EQ(all[5].name(), "RRM");
+}
+
+TEST(Scheme, StaticSchemesExcludeRrm)
+{
+    const auto stat = staticSchemes();
+    ASSERT_EQ(stat.size(), 5u);
+    for (const auto &s : stat)
+        EXPECT_EQ(s.kind, SchemeKind::Static);
+}
+
+} // namespace
+} // namespace rrm::sys

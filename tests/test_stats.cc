@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace rrm::stats
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Scalar &s = g.addScalar("counter", "a counter");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(VectorStat, BinsAndTotal)
+{
+    StatGroup g("g");
+    VectorStat &v = g.addVector("banks", "per bank", {"b0", "b1", "b2"});
+    v.add(0);
+    v.add(1, 2.0);
+    v.add(2, 3.0);
+    EXPECT_DOUBLE_EQ(v.value(0), 1.0);
+    EXPECT_DOUBLE_EQ(v.value(1), 2.0);
+    EXPECT_DOUBLE_EQ(v.value(2), 3.0);
+    EXPECT_DOUBLE_EQ(v.total(), 6.0);
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VectorStat, OutOfRangeBinPanics)
+{
+    StatGroup g("g");
+    VectorStat &v = g.addVector("v", "d", {"only"});
+    EXPECT_THROW(v.add(1), PanicError);
+    EXPECT_THROW(v.value(5), PanicError);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    StatGroup g("g");
+    Scalar &hits = g.addScalar("hits", "h");
+    Scalar &total = g.addScalar("total", "t");
+    Formula &ratio = g.addFormula("ratio", "hit ratio", [&] {
+        return total.value() > 0 ? hits.value() / total.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(DistributionStat, CountsBucketsAndSamples)
+{
+    StatGroup g("g");
+    DistributionStat &d =
+        g.addDistribution("lat", "latency", {100, 200});
+    d.add(50);
+    d.add(150);
+    d.add(250, 2);
+    EXPECT_EQ(d.histogram().count(0), 1u);
+    EXPECT_EQ(d.histogram().count(1), 1u);
+    EXPECT_EQ(d.histogram().count(2), 2u);
+    EXPECT_EQ(d.samples().count(), 3u);
+}
+
+TEST(StatGroup, FindLocatesNestedStats)
+{
+    StatGroup root("system");
+    StatGroup &child = root.addChild("memctrl");
+    Scalar &reads = child.addScalar("reads", "read count");
+    reads += 7;
+
+    const StatBase *found = root.find("memctrl.reads");
+    ASSERT_NE(found, nullptr);
+    const auto *as_scalar = dynamic_cast<const Scalar *>(found);
+    ASSERT_NE(as_scalar, nullptr);
+    EXPECT_DOUBLE_EQ(as_scalar->value(), 7.0);
+}
+
+TEST(StatGroup, FindReturnsNullForUnknownPaths)
+{
+    StatGroup root("system");
+    root.addChild("a").addScalar("x", "x");
+    EXPECT_EQ(root.find("b.x"), nullptr);
+    EXPECT_EQ(root.find("a.y"), nullptr);
+    EXPECT_EQ(root.find("x"), nullptr);
+}
+
+TEST(StatGroup, DumpPrefixesDottedPaths)
+{
+    StatGroup root("sys");
+    StatGroup &c = root.addChild("cache");
+    c.addScalar("hits", "hit count") += 5;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sys.cache.hits"), std::string::npos);
+    EXPECT_NE(out.find("hit count"), std::string::npos);
+}
+
+TEST(StatGroup, DumpIncludesVectorBinsAndTotal)
+{
+    StatGroup root("sys");
+    root.addVector("v", "vec", {"a", "b"}).add(1, 2.0);
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sys.v::a"), std::string::npos);
+    EXPECT_NE(out.find("sys.v::b"), std::string::npos);
+    EXPECT_NE(out.find("sys.v::total"), std::string::npos);
+}
+
+TEST(StatGroup, ResetRecursesIntoChildren)
+{
+    StatGroup root("sys");
+    Scalar &a = root.addScalar("a", "a");
+    Scalar &b = root.addChild("c").addScalar("b", "b");
+    a += 1;
+    b += 2;
+    root.reset();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(StatGroup, FormulaSurvivesReset)
+{
+    StatGroup root("sys");
+    Scalar &a = root.addScalar("a", "a");
+    Formula &f =
+        root.addFormula("f", "2a", [&] { return 2.0 * a.value(); });
+    a += 3;
+    root.reset();
+    a += 1;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+} // namespace
+} // namespace rrm::stats
