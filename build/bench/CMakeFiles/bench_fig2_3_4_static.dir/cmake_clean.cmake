@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_3_4_static.dir/bench_fig2_3_4_static.cc.o"
+  "CMakeFiles/bench_fig2_3_4_static.dir/bench_fig2_3_4_static.cc.o.d"
+  "bench_fig2_3_4_static"
+  "bench_fig2_3_4_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_3_4_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

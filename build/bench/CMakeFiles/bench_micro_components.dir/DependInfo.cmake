@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_components.cc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o" "gcc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/rrm_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rrm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rrm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/rrm_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrm/CMakeFiles/rrm_rrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/rrm_pcm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

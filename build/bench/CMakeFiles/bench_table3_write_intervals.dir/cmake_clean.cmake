@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_write_intervals.dir/bench_table3_write_intervals.cc.o"
+  "CMakeFiles/bench_table3_write_intervals.dir/bench_table3_write_intervals.cc.o.d"
+  "bench_table3_write_intervals"
+  "bench_table3_write_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_write_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

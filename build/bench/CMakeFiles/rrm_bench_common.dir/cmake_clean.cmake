@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rrm_bench_common.dir/bench_common.cc.o.d"
+  "librrm_bench_common.a"
+  "librrm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_region_analysis.dir/hot_region_analysis.cpp.o"
+  "CMakeFiles/hot_region_analysis.dir/hot_region_analysis.cpp.o.d"
+  "hot_region_analysis"
+  "hot_region_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_region_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_cache.dir/cache.cc.o"
+  "CMakeFiles/rrm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/rrm_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/rrm_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/rrm_cache.dir/replacement.cc.o"
+  "CMakeFiles/rrm_cache.dir/replacement.cc.o.d"
+  "librrm_cache.a"
+  "librrm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_common.dir/histogram.cc.o"
+  "CMakeFiles/rrm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/rrm_common.dir/logging.cc.o"
+  "CMakeFiles/rrm_common.dir/logging.cc.o.d"
+  "CMakeFiles/rrm_common.dir/random.cc.o"
+  "CMakeFiles/rrm_common.dir/random.cc.o.d"
+  "librrm_common.a"
+  "librrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

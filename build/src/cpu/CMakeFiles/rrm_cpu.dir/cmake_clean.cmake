@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_cpu.dir/core_model.cc.o"
+  "CMakeFiles/rrm_cpu.dir/core_model.cc.o.d"
+  "librrm_cpu.a"
+  "librrm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

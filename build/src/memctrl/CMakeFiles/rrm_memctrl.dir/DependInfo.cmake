@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctrl/channel.cc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/channel.cc.o" "gcc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/channel.cc.o.d"
+  "/root/repo/src/memctrl/controller.cc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/controller.cc.o" "gcc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/controller.cc.o.d"
+  "/root/repo/src/memctrl/start_gap.cc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/start_gap.cc.o" "gcc" "src/memctrl/CMakeFiles/rrm_memctrl.dir/start_gap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/rrm_pcm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

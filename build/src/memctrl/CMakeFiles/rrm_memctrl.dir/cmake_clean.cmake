@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_memctrl.dir/channel.cc.o"
+  "CMakeFiles/rrm_memctrl.dir/channel.cc.o.d"
+  "CMakeFiles/rrm_memctrl.dir/controller.cc.o"
+  "CMakeFiles/rrm_memctrl.dir/controller.cc.o.d"
+  "CMakeFiles/rrm_memctrl.dir/start_gap.cc.o"
+  "CMakeFiles/rrm_memctrl.dir/start_gap.cc.o.d"
+  "librrm_memctrl.a"
+  "librrm_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/drift_model.cc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/drift_model.cc.o" "gcc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/drift_model.cc.o.d"
+  "/root/repo/src/pcm/energy_model.cc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/energy_model.cc.o" "gcc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/energy_model.cc.o.d"
+  "/root/repo/src/pcm/lifetime_model.cc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/lifetime_model.cc.o" "gcc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/lifetime_model.cc.o.d"
+  "/root/repo/src/pcm/wear_tracker.cc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/wear_tracker.cc.o" "gcc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/wear_tracker.cc.o.d"
+  "/root/repo/src/pcm/write_mode.cc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/write_mode.cc.o" "gcc" "src/pcm/CMakeFiles/rrm_pcm_model.dir/write_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_pcm_model.dir/drift_model.cc.o"
+  "CMakeFiles/rrm_pcm_model.dir/drift_model.cc.o.d"
+  "CMakeFiles/rrm_pcm_model.dir/energy_model.cc.o"
+  "CMakeFiles/rrm_pcm_model.dir/energy_model.cc.o.d"
+  "CMakeFiles/rrm_pcm_model.dir/lifetime_model.cc.o"
+  "CMakeFiles/rrm_pcm_model.dir/lifetime_model.cc.o.d"
+  "CMakeFiles/rrm_pcm_model.dir/wear_tracker.cc.o"
+  "CMakeFiles/rrm_pcm_model.dir/wear_tracker.cc.o.d"
+  "CMakeFiles/rrm_pcm_model.dir/write_mode.cc.o"
+  "CMakeFiles/rrm_pcm_model.dir/write_mode.cc.o.d"
+  "librrm_pcm_model.a"
+  "librrm_pcm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_pcm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_rrm.dir/region_monitor.cc.o"
+  "CMakeFiles/rrm_rrm.dir/region_monitor.cc.o.d"
+  "librrm_rrm.a"
+  "librrm_rrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_rrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

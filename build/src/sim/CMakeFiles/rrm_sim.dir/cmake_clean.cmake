@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rrm_sim.dir/event_queue.cc.o.d"
+  "librrm_sim.a"
+  "librrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_stats.dir/stats.cc.o"
+  "CMakeFiles/rrm_stats.dir/stats.cc.o.d"
+  "librrm_stats.a"
+  "librrm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

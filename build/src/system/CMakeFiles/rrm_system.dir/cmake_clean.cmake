@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_system.dir/region_profiler.cc.o"
+  "CMakeFiles/rrm_system.dir/region_profiler.cc.o.d"
+  "CMakeFiles/rrm_system.dir/system.cc.o"
+  "CMakeFiles/rrm_system.dir/system.cc.o.d"
+  "librrm_system.a"
+  "librrm_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_trace.dir/benchmark.cc.o"
+  "CMakeFiles/rrm_trace.dir/benchmark.cc.o.d"
+  "CMakeFiles/rrm_trace.dir/generator.cc.o"
+  "CMakeFiles/rrm_trace.dir/generator.cc.o.d"
+  "CMakeFiles/rrm_trace.dir/pattern.cc.o"
+  "CMakeFiles/rrm_trace.dir/pattern.cc.o.d"
+  "CMakeFiles/rrm_trace.dir/workload.cc.o"
+  "CMakeFiles/rrm_trace.dir/workload.cc.o.d"
+  "librrm_trace.a"
+  "librrm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

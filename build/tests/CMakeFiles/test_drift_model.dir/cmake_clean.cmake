@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drift_model.dir/test_drift_model.cc.o"
+  "CMakeFiles/test_drift_model.dir/test_drift_model.cc.o.d"
+  "test_drift_model"
+  "test_drift_model.pdb"
+  "test_drift_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drift_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_profiler.dir/test_region_profiler.cc.o"
+  "CMakeFiles/test_region_profiler.dir/test_region_profiler.cc.o.d"
+  "test_region_profiler"
+  "test_region_profiler.pdb"
+  "test_region_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_properties.dir/test_stress_properties.cc.o"
+  "CMakeFiles/test_stress_properties.dir/test_stress_properties.cc.o.d"
+  "test_stress_properties"
+  "test_stress_properties.pdb"
+  "test_stress_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

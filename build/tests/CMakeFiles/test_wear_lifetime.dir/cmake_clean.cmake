@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear_lifetime.dir/test_wear_lifetime.cc.o"
+  "CMakeFiles/test_wear_lifetime.dir/test_wear_lifetime.cc.o.d"
+  "test_wear_lifetime"
+  "test_wear_lifetime.pdb"
+  "test_wear_lifetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

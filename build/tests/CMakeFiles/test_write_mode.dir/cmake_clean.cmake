@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_mode.dir/test_write_mode.cc.o"
+  "CMakeFiles/test_write_mode.dir/test_write_mode.cc.o.d"
+  "test_write_mode"
+  "test_write_mode.pdb"
+  "test_write_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvector[1]_include.cmake")
+include("/root/repo/build/tests/test_math_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_write_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_drift_model[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_model[1]_include.cmake")
+include("/root/repo/build/tests/test_wear_lifetime[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_memctrl[1]_include.cmake")
+include("/root/repo/build/tests/test_region_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_region_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_scheme[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_start_gap[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_stress_properties[1]_include.cmake")
