@@ -168,6 +168,40 @@ Cache::numValidLines() const
 }
 
 void
+Cache::audit() const
+{
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        const Line *base = &lines_[set * config_.assoc];
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            const Line &line = base[w];
+            if (!line.valid) {
+                RRM_AUDIT(!line.dirty, "cache '", config_.name,
+                          "': invalid line is dirty (set ", set,
+                          " way ", w, ")");
+                continue;
+            }
+            const Addr addr = line.tag << lineShift_;
+            RRM_AUDIT(setIndex(addr) == set, "cache '", config_.name,
+                      "': tag in set ", set, " indexes to set ",
+                      setIndex(addr));
+            for (unsigned v = w + 1; v < config_.assoc; ++v) {
+                if (!base[v].valid)
+                    continue;
+                RRM_AUDIT(base[v].tag != line.tag, "cache '",
+                          config_.name, "': duplicate tag in set ", set,
+                          " (ways ", w, " and ", v, ")");
+                if (config_.replacement != ReplacementKind::Random) {
+                    RRM_AUDIT(base[v].stamp != line.stamp, "cache '",
+                              config_.name,
+                              "': duplicate replacement stamp in set ",
+                              set, " (ways ", w, " and ", v, ")");
+                }
+            }
+        }
+    }
+}
+
+void
 Cache::regStats(stats::StatGroup &group)
 {
     auto &g = group.addChild(config_.name);

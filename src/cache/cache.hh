@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/units.hh"
@@ -47,7 +48,7 @@ struct Victim
 };
 
 /** One set-associative cache level. */
-class Cache
+class Cache : public Auditable
 {
   public:
     explicit Cache(const CacheConfig &config);
@@ -113,6 +114,17 @@ class Cache
 
     /** Register hit/miss/writeback statistics into a group. */
     void regStats(stats::StatGroup &group);
+
+    // ---- Auditable ----
+    std::string_view auditName() const override { return config_.name; }
+
+    /**
+     * Invariants: no duplicate valid tags within a set, every valid
+     * tag indexes back to the set holding it, dirty state only on
+     * valid lines, and (under LRU/FIFO) distinct replacement stamps
+     * among the valid ways of a set.
+     */
+    void audit() const override;
 
   private:
     struct Line

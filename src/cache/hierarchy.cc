@@ -186,6 +186,34 @@ CacheHierarchy::regStats(stats::StatGroup &group)
     llc_->regStats(group);
 }
 
+void
+CacheHierarchy::audit() const
+{
+    llc_->audit();
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1s_[c]->audit();
+        l2s_[c]->audit();
+
+        l1s_[c]->forEachValidLine([&](Addr a) {
+            RRM_AUDIT(l2s_[c]->contains(a), "inclusion: L1 line 0x",
+                      std::hex, a, std::dec, " of core ", c,
+                      " absent from L2");
+        });
+        l2s_[c]->forEachValidLine([&](Addr a) {
+            RRM_AUDIT(llc_->contains(a), "inclusion: L2 line 0x",
+                      std::hex, a, std::dec, " of core ", c,
+                      " absent from the LLC");
+        });
+    }
+    llc_->forEachValidLine([&](Addr a) {
+        const int owner = llc_->owner(a);
+        RRM_AUDIT(owner >= -1 &&
+                      owner < static_cast<int>(config_.numCores),
+                  "LLC line 0x", std::hex, a, std::dec,
+                  " has impossible owner ", owner);
+    });
+}
+
 bool
 CacheHierarchy::checkInclusion() const
 {

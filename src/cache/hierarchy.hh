@@ -64,7 +64,7 @@ struct HierarchyConfig
 HierarchyConfig defaultHierarchyConfig();
 
 /** Three-level inclusive hierarchy. */
-class CacheHierarchy
+class CacheHierarchy : public Auditable
 {
   public:
     explicit CacheHierarchy(const HierarchyConfig &config);
@@ -105,6 +105,17 @@ class CacheHierarchy
 
     /** Verify the inclusion invariant (O(cache size); tests only). */
     bool checkInclusion() const;
+
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "hierarchy"; }
+
+    /**
+     * Invariants: each level's own array is consistent (see
+     * Cache::audit), inclusion holds (L1 ⊆ L2 ⊆ LLC), dirty upper
+     * copies have their backing line present below, and every LLC
+     * line's recorded owner is a real core (or untracked).
+     */
+    void audit() const override;
 
   private:
     void fillIntoL2(unsigned core, Addr addr, HierarchyEvents &ev);

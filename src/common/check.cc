@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Violation accounting and failure-policy dispatch for check.hh.
+ */
+
+#include "check.hh"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <execinfo.h>
+#include <iostream>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace rrm::check
+{
+
+namespace
+{
+
+std::atomic<FailurePolicy> globalPolicy{FailurePolicy::Throw};
+
+std::array<std::atomic<std::uint64_t>, numViolationKinds> counters{};
+
+std::mutex lastMessageMutex;
+std::string lastMessage; // guarded by lastMessageMutex
+
+} // namespace
+
+std::string_view
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::Check:
+        return "check";
+      case ViolationKind::DCheck:
+        return "dcheck";
+      case ViolationKind::Unreachable:
+        return "unreachable";
+      case ViolationKind::Audit:
+        return "audit";
+    }
+    return "unknown";
+}
+
+FailurePolicy
+failurePolicy()
+{
+    return globalPolicy.load(std::memory_order_relaxed);
+}
+
+void
+setFailurePolicy(FailurePolicy policy)
+{
+    globalPolicy.store(policy, std::memory_order_relaxed);
+}
+
+std::uint64_t
+violationCount(ViolationKind kind)
+{
+    return counters[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+totalViolations()
+{
+    std::uint64_t total = 0;
+    for (const auto &c : counters)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+resetViolations()
+{
+    for (auto &c : counters)
+        c.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(lastMessageMutex);
+    lastMessage.clear();
+}
+
+std::string
+lastViolationMessage()
+{
+    const std::lock_guard<std::mutex> lock(lastMessageMutex);
+    return lastMessage;
+}
+
+namespace detail
+{
+
+void
+reportViolation(ViolationKind kind, const std::string &message)
+{
+    counters[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(lastMessageMutex);
+        lastMessage = message;
+    }
+
+    switch (failurePolicy()) {
+      case FailurePolicy::Abort: {
+        std::cerr << message << '\n';
+        void *frames[64];
+        const int n = backtrace(frames, 64);
+        backtrace_symbols_fd(frames, n, 2);
+        std::abort();
+      }
+      case FailurePolicy::Throw:
+        throw CheckError(kind, message);
+      case FailurePolicy::LogAndCount:
+        // Unreachable code cannot continue regardless of policy; the
+        // count above still lands before the throw.
+        if (kind == ViolationKind::Unreachable)
+            throw CheckError(kind, message);
+        warn(message);
+        return;
+    }
+    RRM_ASSERT(false, "corrupt failure policy");
+}
+
+} // namespace detail
+} // namespace rrm::check

@@ -24,7 +24,8 @@ readAccessTime(const MemoryParams &p, bool row_hit)
 
 Channel::Channel(unsigned index, const MemoryParams &params,
                  EventQueue &queue)
-    : index_(index), params_(params), queue_(queue), map_(params)
+    : index_(index), name_("channel" + std::to_string(index)),
+      params_(params), queue_(queue), map_(params)
 {
     banks_.resize(params_.banksPerChannel);
     activateHistory_.clear();
@@ -35,7 +36,10 @@ Channel::enqueueRead(Request req)
 {
     if (readQ_.size() >= params_.readQueueCap)
         return false;
+    RRM_DCHECK(req.kind == ReqKind::Read, "read queue got a ",
+               static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    ++enqueued_[static_cast<std::size_t>(ReqKind::Read)];
     readQ_.push_back(std::move(req));
     trySchedule();
     return true;
@@ -46,7 +50,10 @@ Channel::enqueueWrite(Request req)
 {
     if (writeQ_.size() >= params_.writeQueueCap)
         return false;
+    RRM_DCHECK(req.kind == ReqKind::Write, "write queue got a ",
+               static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    ++enqueued_[static_cast<std::size_t>(ReqKind::Write)];
     writeQ_.push_back(std::move(req));
     trySchedule();
     return true;
@@ -57,7 +64,10 @@ Channel::enqueueRefresh(Request req)
 {
     if (refreshQ_.size() >= params_.refreshQueueCap)
         return false;
+    RRM_DCHECK(req.kind == ReqKind::RrmRefresh, "refresh queue got a ",
+               static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    ++enqueued_[static_cast<std::size_t>(ReqKind::RrmRefresh)];
     refreshQ_.push_back(std::move(req));
     trySchedule();
     return true;
@@ -164,6 +174,7 @@ Channel::tryIssueRead(const Request &req, Tick &earliest)
     const Tick finish = now + access + params_.burstTime();
     if (statReadLatency_)
         statReadLatency_->add(finish - req.enqueueTick);
+    ++inflightReads_;
     Request copy = req;
     queue_.schedule(
         finish,
@@ -264,6 +275,17 @@ Channel::scheduleRetry(Tick when)
 void
 Channel::complete(const Request &req, Tick when)
 {
+    RRM_DCHECK(when >= req.enqueueTick,
+               "request completed before it was enqueued");
+    RRM_DCHECK(when >= lastCompletionTick_,
+               "completion timestamps moved backwards: ", when, " < ",
+               lastCompletionTick_);
+    lastCompletionTick_ = when;
+    ++retired_[static_cast<std::size_t>(req.kind)];
+    if (req.kind == ReqKind::Read) {
+        RRM_CHECK(inflightReads_ > 0, "read retired with none in flight");
+        --inflightReads_;
+    }
     if (completionHook_)
         completionHook_(req, when);
     if (req.onComplete)
@@ -357,7 +379,7 @@ Channel::trySchedule()
 void
 Channel::regStats(stats::StatGroup &group)
 {
-    auto &g = group.addChild("channel" + std::to_string(index_));
+    auto &g = group.addChild(name_);
     statReads_ = &g.addScalar("reads", "read requests issued");
     statRowHits_ = &g.addScalar("rowHits", "reads hitting the open row");
     statWrites_ = &g.addScalar("writes", "demand writes issued");
@@ -370,6 +392,74 @@ Channel::regStats(stats::StatGroup &group)
     statReadLatency_ = &g.addDistribution(
         "readLatency", "read latency from enqueue to data (ticks)",
         {50000, 100000, 200000, 400000, 800000, 1600000, 3200000});
+}
+
+void
+Channel::audit() const
+{
+    const Tick now = queue_.now();
+
+    RRM_AUDIT(readQ_.size() <= params_.readQueueCap, name_,
+              ": read queue above its cap");
+    RRM_AUDIT(writeQ_.size() <= params_.writeQueueCap, name_,
+              ": write queue above its cap");
+    RRM_AUDIT(refreshQ_.size() <= params_.refreshQueueCap, name_,
+              ": refresh queue above its cap");
+
+    const auto auditQueue = [&](const std::deque<Request> &q,
+                                ReqKind kind, const char *qname) {
+        for (const Request &req : q) {
+            RRM_AUDIT(req.kind == kind, name_, ": ", qname,
+                      " queue holds a request of kind ",
+                      static_cast<int>(req.kind));
+            RRM_AUDIT(req.enqueueTick <= now, name_, ": ", qname,
+                      " request enqueued in the future (",
+                      req.enqueueTick, " > ", now, ")");
+        }
+    };
+    auditQueue(readQ_, ReqKind::Read, "read");
+    auditQueue(writeQ_, ReqKind::Write, "write");
+    auditQueue(refreshQ_, ReqKind::RrmRefresh, "refresh");
+
+    std::uint64_t inflight_writes = 0;
+    std::uint64_t inflight_refreshes = 0;
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const Bank &bank = banks_[b];
+        if (!bank.writing)
+            continue;
+        RRM_AUDIT(bank.writePulseStart <= bank.busyUntil, name_,
+                  ": bank ", b, " pulse train ends before it starts");
+        switch (bank.inflightWrite.kind) {
+          case ReqKind::Write:
+            ++inflight_writes;
+            break;
+          case ReqKind::RrmRefresh:
+            ++inflight_refreshes;
+            break;
+          case ReqKind::Read:
+            RRM_AUDIT(false, name_, ": bank ", b,
+                      " is writing a read request");
+            break;
+        }
+    }
+
+    const auto conserved = [&](ReqKind kind, std::uint64_t queued,
+                               std::uint64_t inflight) {
+        const auto k = static_cast<std::size_t>(kind);
+        RRM_AUDIT(enqueued_[k] == retired_[k] + queued + inflight, name_,
+                  ": request conservation broken for kind ",
+                  static_cast<int>(kind), ": enqueued ", enqueued_[k],
+                  " != retired ", retired_[k], " + queued ", queued,
+                  " + inflight ", inflight);
+    };
+    conserved(ReqKind::Read, readQ_.size(), inflightReads_);
+    conserved(ReqKind::Write, writeQ_.size(), inflight_writes);
+    conserved(ReqKind::RrmRefresh, refreshQ_.size(), inflight_refreshes);
+
+    RRM_AUDIT(lastCompletionTick_ <= now, name_,
+              ": a completion was delivered in the future");
+    RRM_AUDIT(!retryPending_ || retryAt_ >= now, name_,
+              ": pending retry scheduled in the past");
 }
 
 bool

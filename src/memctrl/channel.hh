@@ -17,10 +17,12 @@
 #ifndef RRM_MEMCTRL_CHANNEL_HH
 #define RRM_MEMCTRL_CHANNEL_HH
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "memctrl/address_map.hh"
 #include "memctrl/request.hh"
 #include "sim/event_queue.hh"
@@ -36,7 +38,7 @@ using CompletionHook = std::function<void(const Request &, Tick)>;
 using WriteIssuedHook = std::function<void()>;
 
 /** One memory channel with its banks and queues. */
-class Channel
+class Channel : public Auditable
 {
   public:
     Channel(unsigned index, const MemoryParams &params,
@@ -76,6 +78,30 @@ class Channel
 
     /** True if all queues are empty and all banks idle (tests). */
     bool idle() const;
+
+    /** Requests accepted into the given queue over the lifetime. */
+    std::uint64_t enqueuedCount(ReqKind kind) const
+    {
+        return enqueued_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Requests fully retired (completion delivered). */
+    std::uint64_t retiredCount(ReqKind kind) const
+    {
+        return retired_[static_cast<std::size_t>(kind)];
+    }
+
+    // ---- Auditable ----
+    std::string_view auditName() const override { return name_; }
+
+    /**
+     * Invariants: request conservation (every accepted request is
+     * retired, queued, or in flight at a bank — nothing lost or
+     * duplicated), queue occupancies within their caps, queued
+     * requests enqueued no later than now, coherent per-bank write
+     * state, and a pending retry no earlier than now.
+     */
+    void audit() const override;
 
   private:
     struct Bank
@@ -121,6 +147,7 @@ class Channel
     void writeCheck(unsigned bank_idx);
 
     unsigned index_;
+    std::string name_;
     MemoryParams params_;
     EventQueue &queue_;
     AddressMap map_;
@@ -129,6 +156,12 @@ class Channel
     std::deque<Request> readQ_;
     std::deque<Request> writeQ_;
     std::deque<Request> refreshQ_;
+
+    // Request-conservation accounting (audited), indexed by ReqKind.
+    std::array<std::uint64_t, 3> enqueued_{};
+    std::array<std::uint64_t, 3> retired_{};
+    std::uint64_t inflightReads_ = 0;
+    Tick lastCompletionTick_ = 0;
 
     Tick busFreeAt_ = 0;
     std::vector<Tick> activateHistory_; ///< ring of last 4 activates

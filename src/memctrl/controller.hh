@@ -15,13 +15,14 @@
 #include <memory>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "memctrl/channel.hh"
 
 namespace rrm::memctrl
 {
 
 /** Multi-channel PCM memory controller. */
-class Controller
+class Controller : public Auditable
 {
   public:
     Controller(const MemoryParams &params, EventQueue &queue);
@@ -71,6 +72,17 @@ class Controller
     Channel &channel(unsigned i) { return *channels_.at(i); }
 
     void regStats(stats::StatGroup &group);
+
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "memctrl"; }
+
+    /** Deep-check every channel (see Channel::audit). */
+    void
+    audit() const override
+    {
+        for (const auto &ch : channels_)
+            ch->audit();
+    }
 
   private:
     unsigned channelOf(Addr addr) const;

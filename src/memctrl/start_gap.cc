@@ -47,6 +47,40 @@ StartGapDomain::onWrite()
     return true;
 }
 
+void
+StartGapDomain::audit() const
+{
+    RRM_AUDIT(start_ < numLines_, "start pointer ", start_,
+              " outside domain of ", numLines_, " lines");
+    RRM_AUDIT(gap_ <= numLines_, "gap pointer ", gap_,
+              " outside the N+1 physical slots");
+    RRM_AUDIT(writesSinceMove_ < gapWritePeriod_,
+              "writesSinceMove ", writesSinceMove_,
+              " reached the gap period ", gapWritePeriod_,
+              " without rotating");
+
+    // Full bijection sweep: every logical line must land on a
+    // distinct physical slot, and the only free slot is the gap.
+    std::vector<bool> occupied(numLines_ + 1, false);
+    for (std::uint64_t line = 0; line < numLines_; ++line) {
+        std::uint64_t slot = (start_ + line) % numLines_;
+        if (slot >= gap_)
+            ++slot;
+        if (slot > numLines_) {
+            RRM_AUDIT(false, "line ", line, " maps to slot ", slot,
+                      " beyond the physical array");
+            continue;
+        }
+        RRM_AUDIT(!occupied[slot], "remap is not injective: slot ",
+                  slot, " reached twice (line ", line, ")");
+        occupied[slot] = true;
+    }
+    if (gap_ <= numLines_) {
+        RRM_AUDIT(!occupied[gap_],
+                  "gap slot ", gap_, " is occupied by a logical line");
+    }
+}
+
 StartGapRemapper::StartGapRemapper(std::uint64_t memory_bytes,
                                    const StartGapParams &params)
     : params_(params), memoryBytes_(memory_bytes)
@@ -92,6 +126,17 @@ bool
 StartGapRemapper::onWrite(Addr addr)
 {
     return domains_[domainOf(addr)].onWrite();
+}
+
+void
+StartGapRemapper::audit() const
+{
+    RRM_AUDIT(domains_.size() * params_.linesPerDomain *
+                      params_.lineBytes ==
+                  memoryBytes_,
+              "domains no longer tile the memory exactly");
+    for (const auto &d : domains_)
+        d.audit();
 }
 
 std::uint64_t

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/units.hh"
@@ -74,7 +75,17 @@ class StartGapDomain
     /** Gap movements performed so far. */
     std::uint64_t gapMoves() const { return gapMoves_; }
 
+    /**
+     * Deep-check the domain: pointer ranges, rotation bookkeeping,
+     * and the full logical→physical bijection (every logical line
+     * lands on a distinct slot and the only unoccupied slot is the
+     * gap). O(numLines).
+     */
+    void audit() const;
+
   private:
+    friend struct StartGapTestAccess;
+
     std::uint64_t numLines_;
     std::uint64_t gapWritePeriod_;
     std::uint64_t start_ = 0;
@@ -96,7 +107,7 @@ class StartGapDomain
  * last logical line of each domain aliases the spare slot), which
  * preserves wear-spreading behaviour exactly.
  */
-class StartGapRemapper
+class StartGapRemapper : public Auditable
 {
   public:
     StartGapRemapper(std::uint64_t memory_bytes,
@@ -126,12 +137,47 @@ class StartGapRemapper
         return domains_.at(i);
     }
 
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "startGap"; }
+
+    /**
+     * Invariants: geometry covers the memory exactly, and every
+     * domain's remap is a bijection (see StartGapDomain::audit).
+     */
+    void audit() const override;
+
   private:
     std::uint64_t domainOf(Addr addr) const;
 
     StartGapParams params_;
     std::uint64_t memoryBytes_;
     std::vector<StartGapDomain> domains_;
+};
+
+/**
+ * Test-only backdoor used by the corruption-seeding audit tests to
+ * damage StartGapDomain state and prove the audit catches it. Never
+ * use outside tests.
+ */
+struct StartGapTestAccess
+{
+    static void
+    setStart(StartGapDomain &d, std::uint64_t start)
+    {
+        d.start_ = start;
+    }
+
+    static void
+    setGap(StartGapDomain &d, std::uint64_t gap)
+    {
+        d.gap_ = gap;
+    }
+
+    static void
+    setWritesSinceMove(StartGapDomain &d, std::uint64_t w)
+    {
+        d.writesSinceMove_ = w;
+    }
 };
 
 } // namespace rrm::memctrl

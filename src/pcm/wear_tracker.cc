@@ -112,6 +112,37 @@ WearTracker::reset()
 {
     totals_.fill(0);
     std::fill(regionWear_.begin(), regionWear_.end(), 0);
+    auditedTotals_.fill(0);
+}
+
+void
+WearTracker::audit() const
+{
+    for (std::size_t c = 0; c < numWearCauses; ++c) {
+        RRM_AUDIT(totals_[c] >= auditedTotals_[c], "wear total for ",
+                  wearCauseName(static_cast<WearCause>(c)),
+                  " decreased: ", totals_[c], " < ", auditedTotals_[c]);
+        auditedTotals_[c] = totals_[c];
+    }
+
+    std::uint64_t region_sum = 0;
+    bool saturated = false;
+    for (const std::uint32_t w : regionWear_) {
+        region_sum += w;
+        saturated |= (w == ~std::uint32_t(0));
+    }
+    const std::uint64_t tracked =
+        total(WearCause::DemandWrite) + total(WearCause::RrmRefresh);
+    // Region counters saturate at 2^32-1, so only a lower bound holds
+    // once any region has pegged.
+    if (saturated) {
+        RRM_AUDIT(region_sum <= tracked,
+                  "region wear sum ", region_sum,
+                  " exceeds tracked total ", tracked);
+    } else {
+        RRM_AUDIT(region_sum == tracked, "region wear sum ", region_sum,
+                  " != demand+refresh total ", tracked);
+    }
 }
 
 } // namespace rrm::pcm

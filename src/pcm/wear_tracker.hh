@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -42,7 +43,7 @@ constexpr std::size_t numWearCauses = 3;
 std::string_view wearCauseName(WearCause cause);
 
 /** Tracks block-write wear across the PCM array. */
-class WearTracker
+class WearTracker : public Auditable
 {
   public:
     /**
@@ -101,6 +102,17 @@ class WearTracker
     /** Reset all counters. */
     void reset();
 
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "wear"; }
+
+    /**
+     * Invariants: per-cause totals never decrease between audits
+     * (short of reset()), and the per-region counters sum to the
+     * demand + RRM-refresh totals (global refresh is aggregate-only
+     * and never attributed to regions).
+     */
+    void audit() const override;
+
   private:
     std::uint64_t memoryBytes_;
     std::uint64_t regionBytes_;
@@ -110,6 +122,9 @@ class WearTracker
 
     std::array<std::uint64_t, numWearCauses> totals_{};
     std::vector<std::uint32_t> regionWear_;
+
+    /** Audit bookkeeping: totals observed by the previous audit. */
+    mutable std::array<std::uint64_t, numWearCauses> auditedTotals_{};
 };
 
 } // namespace rrm::pcm

@@ -298,6 +298,129 @@ RegionMonitor::shortRetentionBlockCount() const
 }
 
 void
+RegionMonitor::audit() const
+{
+    std::uint64_t vector_bits = 0;
+    for (std::uint64_t set = 0; set < config_.numSets; ++set) {
+        const Entry *base = &entries_[set * config_.assoc];
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            const Entry &e = base[w];
+            RRM_AUDIT(e.shortRetentionVector.size() ==
+                          config_.blocksPerRegion(),
+                      "entry (set ", set, " way ", w,
+                      ") vector width ", e.shortRetentionVector.size(),
+                      " != blocks per region ",
+                      config_.blocksPerRegion());
+            if (!e.valid) {
+                RRM_AUDIT(!e.hot, "invalid entry (set ", set, " way ",
+                          w, ") is marked hot");
+                RRM_AUDIT(e.shortRetentionVector.none(),
+                          "invalid entry (set ", set, " way ", w,
+                          ") still holds vector bits");
+                continue;
+            }
+
+            RRM_AUDIT(setOf(e.regionId) == set, "entry for region ",
+                      e.regionId, " stored in set ", set,
+                      " but indexes to set ", setOf(e.regionId));
+            RRM_AUDIT(e.dirtyWriteCounter <= config_.hotThreshold,
+                      "region ", e.regionId, " dirty_write_counter ",
+                      e.dirtyWriteCounter, " above hot_threshold ",
+                      config_.hotThreshold);
+            if (e.hot) {
+                RRM_AUDIT(e.dirtyWriteCounter >=
+                              config_.hotThreshold / 2,
+                          "hot region ", e.regionId, " counter ",
+                          e.dirtyWriteCounter,
+                          " below half the promotion threshold — hot "
+                          "without ever reaching hot_threshold?");
+            } else {
+                RRM_AUDIT(e.shortRetentionVector.none(), "region ",
+                          e.regionId,
+                          " holds vector bits while not hot");
+            }
+            RRM_AUDIT(e.decayCounter < config_.decayTicksPerInterval,
+                      "region ", e.regionId, " decay_counter ",
+                      e.decayCounter, " outside its ",
+                      config_.decayTicksPerInterval, "-tick window");
+            RRM_AUDIT(e.lruStamp <= lruClock_, "region ", e.regionId,
+                      " LRU stamp ", e.lruStamp,
+                      " ahead of the LRU clock ", lruClock_);
+            vector_bits += e.shortRetentionVector.popcount();
+
+            for (unsigned v = w + 1; v < config_.assoc; ++v) {
+                if (!base[v].valid)
+                    continue;
+                RRM_AUDIT(base[v].regionId != e.regionId,
+                          "region ", e.regionId,
+                          " tracked twice in set ", set);
+                RRM_AUDIT(base[v].lruStamp != e.lruStamp,
+                          "duplicate LRU stamp ", e.lruStamp,
+                          " in set ", set, " (ways ", w, " and ", v,
+                          ")");
+            }
+        }
+    }
+    RRM_AUDIT(shortRetentionBlockCount() == vector_bits,
+              "shortRetentionBlockCount() ", shortRetentionBlockCount(),
+              " != recomputed vector popcount ", vector_bits);
+}
+
+RegionMonitor::Entry &
+RegionMonitorTestAccess::entryFor(RegionMonitor &rrm, Addr addr)
+{
+    RegionMonitor::Entry *e = rrm.find(rrm.regionIdOf(addr));
+    RRM_ASSERT(e, "no RRM entry tracks address ", addr);
+    return *e;
+}
+
+void
+RegionMonitorTestAccess::corruptDirtyWriteCounter(RegionMonitor &rrm,
+                                                  Addr addr,
+                                                  unsigned value)
+{
+    entryFor(rrm, addr).dirtyWriteCounter = value;
+}
+
+void
+RegionMonitorTestAccess::corruptHotFlag(RegionMonitor &rrm, Addr addr,
+                                        bool hot)
+{
+    entryFor(rrm, addr).hot = hot;
+}
+
+void
+RegionMonitorTestAccess::corruptDecayCounter(RegionMonitor &rrm,
+                                             Addr addr, unsigned value)
+{
+    entryFor(rrm, addr).decayCounter = value;
+}
+
+void
+RegionMonitorTestAccess::corruptVectorBit(RegionMonitor &rrm,
+                                          Addr block_addr)
+{
+    RegionMonitor::Entry &e = entryFor(rrm, block_addr);
+    const std::uint64_t block =
+        (block_addr % rrm.config_.regionBytes) / rrm.config_.blockBytes;
+    e.shortRetentionVector.set(block);
+}
+
+void
+RegionMonitorTestAccess::corruptLruStamp(RegionMonitor &rrm, Addr addr,
+                                         std::uint64_t stamp)
+{
+    entryFor(rrm, addr).lruStamp = stamp;
+}
+
+void
+RegionMonitorTestAccess::corruptRegionId(RegionMonitor &rrm, Addr addr,
+                                         std::uint64_t region_id)
+{
+    entryFor(rrm, addr).regionId = region_id;
+}
+
+void
 RegionMonitor::regStats(stats::StatGroup &group)
 {
     auto &g = group.addChild("rrm");

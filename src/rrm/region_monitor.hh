@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "common/bitvector.hh"
 #include "rrm/rrm_config.hh"
 #include "sim/event_queue.hh"
@@ -57,7 +58,7 @@ struct RefreshRequest
 };
 
 /** The Region Retention Monitor. */
-class RegionMonitor
+class RegionMonitor : public Auditable
 {
   public:
     using RefreshCallback = std::function<void(const RefreshRequest &)>;
@@ -118,7 +119,29 @@ class RegionMonitor
 
     void regStats(stats::StatGroup &group);
 
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "rrm"; }
+
+    /**
+     * Invariants (paper Section IV state machine):
+     *  - dirty_write_counter never exceeds hot_threshold;
+     *  - a hot entry's counter is at least hot_threshold/2 (set to
+     *    the threshold at promotion, halved at most once per decay
+     *    wrap while still hot);
+     *  - only hot entries carry short_retention_vector bits, and
+     *    every vector has exactly blocksPerRegion() bits;
+     *  - shortRetentionBlockCount() equals the recomputed popcount
+     *    over all vectors;
+     *  - each entry lives in the set its region id indexes, region
+     *    ids are unique within a set, and LRU stamps of valid
+     *    entries are unique and bounded by the LRU clock;
+     *  - decay_counter stays below decayTicksPerInterval.
+     */
+    void audit() const override;
+
   private:
+    friend struct RegionMonitorTestAccess;
+
     struct Entry
     {
         Addr regionId = 0;
@@ -169,6 +192,29 @@ class RegionMonitor
     stats::Scalar *statFastRefreshes_ = nullptr;
     stats::Scalar *statSlowRefreshes_ = nullptr;
     stats::Scalar *statRefreshRounds_ = nullptr;
+};
+
+/**
+ * Test-only backdoor used by the corruption-seeding audit tests to
+ * damage RegionMonitor entry state and prove the audit catches it.
+ * All mutators address the entry tracking `addr`'s region and panic
+ * if none exists. Never use outside tests.
+ */
+struct RegionMonitorTestAccess
+{
+    static void corruptDirtyWriteCounter(RegionMonitor &rrm, Addr addr,
+                                         unsigned value);
+    static void corruptHotFlag(RegionMonitor &rrm, Addr addr, bool hot);
+    static void corruptDecayCounter(RegionMonitor &rrm, Addr addr,
+                                    unsigned value);
+    static void corruptVectorBit(RegionMonitor &rrm, Addr block_addr);
+    static void corruptLruStamp(RegionMonitor &rrm, Addr addr,
+                                std::uint64_t stamp);
+    static void corruptRegionId(RegionMonitor &rrm, Addr addr,
+                                std::uint64_t region_id);
+
+  private:
+    static RegionMonitor::Entry &entryFor(RegionMonitor &rrm, Addr addr);
 };
 
 } // namespace rrm::monitor

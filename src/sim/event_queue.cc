@@ -83,19 +83,26 @@ EventQueue::cancel(EventId id)
 }
 
 std::uint64_t
-EventQueue::run(Tick until)
+EventQueue::run(Tick until, std::uint64_t max_events)
 {
     std::uint64_t count = 0;
+    bool capped = false;
     while (skipCancelled()) {
         if (heapTop().when > until)
             break;
+        if (count >= max_events) {
+            capped = true;
+            break;
+        }
         Entry entry = heapPop();
+        RRM_ASSERT(entry.when >= now_,
+                   "event heap yielded a past event");
         now_ = entry.when;
         ++executed_;
         ++count;
         entry.cb();
     }
-    if (until != maxTick && until > now_)
+    if (!capped && until != maxTick && until > now_)
         now_ = until;
     return count;
 }
@@ -110,6 +117,38 @@ EventQueue::step()
     ++executed_;
     entry.cb();
     return true;
+}
+
+void
+EventQueue::audit() const
+{
+    RRM_AUDIT(now_ >= lastAuditedNow_,
+              "simulated time moved backwards: now=", now_,
+              " previously audited=", lastAuditedNow_);
+    lastAuditedNow_ = now_;
+
+    const std::size_t n = heap_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Entry &e = heap_[i];
+        if (cancelled_.count(e.id) == 0) {
+            RRM_AUDIT(e.when >= now_, "pending event ", e.id,
+                      " scheduled at ", e.when, " before now=", now_);
+            RRM_AUDIT(static_cast<bool>(e.cb),
+                      "pending event ", e.id, " has a null callback");
+        }
+        RRM_AUDIT(e.id < nextId_, "heap entry id ", e.id,
+                  " was never issued (nextId=", nextId_, ")");
+        if (i > 0) {
+            const Entry &parent = heap_[(i - 1) / 2];
+            RRM_AUDIT(!parent.laterThan(e),
+                      "heap property violated between entries ",
+                      parent.id, " and ", e.id);
+        }
+    }
+    for (const EventId id : cancelled_) {
+        RRM_AUDIT(id < nextId_, "cancelled id ", id,
+                  " was never issued (nextId=", nextId_, ")");
+    }
 }
 
 PeriodicTask::PeriodicTask(EventQueue &queue, Tick period, Tick first,

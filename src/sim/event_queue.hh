@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -38,7 +39,7 @@ enum class EventPriority : int
 };
 
 /** Global discrete-event queue. */
-class EventQueue
+class EventQueue : public Auditable
 {
   public:
     using Callback = std::function<void()>;
@@ -87,20 +88,37 @@ class EventQueue
     void cancel(EventId id);
 
     /**
-     * Execute events until the queue empties or the next event is past
-     * `until`. Time advances to `until` (if bounded) or stops at the
-     * last executed event.
+     * Execute events until the queue empties, the next event is past
+     * `until`, or `max_events` have run. Time advances to `until`
+     * (if bounded) once the queue drains below it; stopping at the
+     * event cap leaves time at the last executed event so the caller
+     * can interleave work (e.g. audits) and continue.
      *
-     * @param until Absolute tick bound (inclusive); maxTick = no bound.
+     * @param until      Absolute tick bound (inclusive); maxTick = no
+     *                   bound.
+     * @param max_events Stop after this many events (the audit-cadence
+     *                   hook); default unlimited.
      * @return Number of events executed.
      */
-    std::uint64_t run(Tick until = maxTick);
+    std::uint64_t run(Tick until = maxTick,
+                      std::uint64_t max_events = ~std::uint64_t(0));
 
     /** Execute exactly one event if available. @return true if run. */
     bool step();
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t eventsExecuted() const { return executed_; }
+
+    // ---- Auditable ----
+    std::string_view auditName() const override { return "eventQueue"; }
+
+    /**
+     * Invariants: simulated time never decreases across audits, every
+     * pending event is scheduled at or after now(), the internal heap
+     * satisfies the heap property, and cancellation bookkeeping only
+     * references ids that were actually issued.
+     */
+    void audit() const override;
 
   private:
     struct Entry
@@ -134,6 +152,9 @@ class EventQueue
     std::uint64_t executed_ = 0;
     std::vector<Entry> heap_;
     std::unordered_set<EventId> cancelled_;
+
+    /** Audit bookkeeping: now() observed by the previous audit. */
+    mutable Tick lastAuditedNow_ = 0;
 };
 
 /**

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * check_stats implementation.
+ */
+
+#include "check_stats.hh"
+
+#include "common/check.hh"
+
+namespace rrm::stats
+{
+
+void
+registerCheckViolationStats(StatGroup &group)
+{
+    using check::ViolationKind;
+    auto &g = group.addChild("checks");
+    const auto formulaFor = [&](ViolationKind kind, const char *desc) {
+        g.addFormula(std::string(check::violationKindName(kind)) +
+                         "Violations",
+                     desc, [kind] {
+                         return static_cast<double>(
+                             check::violationCount(kind));
+                     });
+    };
+    formulaFor(ViolationKind::Check, "RRM_CHECK violations recorded");
+    formulaFor(ViolationKind::DCheck, "RRM_DCHECK violations recorded");
+    formulaFor(ViolationKind::Unreachable,
+               "RRM_UNREACHABLE points reached");
+    formulaFor(ViolationKind::Audit, "RRM_AUDIT violations recorded");
+    g.addFormula("totalViolations", "all contract violations", [] {
+        return static_cast<double>(check::totalViolations());
+    });
+}
+
+} // namespace rrm::stats

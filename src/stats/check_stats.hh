@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Export of check.hh violation counters through the stats package.
+ *
+ * Adds one Formula per violation kind plus a total under a "checks"
+ * child group, so every stats dump carries the contract-violation
+ * state of the run (all zeros on a healthy simulation).
+ */
+
+#ifndef RRM_STATS_CHECK_STATS_HH
+#define RRM_STATS_CHECK_STATS_HH
+
+#include "stats/stats.hh"
+
+namespace rrm::stats
+{
+
+/** Register the global violation counters under `group`. */
+void registerCheckViolationStats(StatGroup &group);
+
+} // namespace rrm::stats
+
+#endif // RRM_STATS_CHECK_STATS_HH

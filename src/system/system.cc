@@ -5,7 +5,9 @@
 
 #include "system.hh"
 
+#include "common/auditable.hh"
 #include "common/logging.hh"
+#include "stats/check_stats.hh"
 
 namespace rrm::sys
 {
@@ -106,6 +108,11 @@ System::System(SystemConfig config)
         "writebackBlocked", "times the writeback buffer filled");
     statRefreshOverflows_ = &g.addScalar(
         "refreshOverflows", "RRM refreshes that found a full queue");
+    statAuditRounds_ =
+        &g.addScalar("auditRounds", "deep-audit rounds executed");
+    statAuditViolations_ = &g.addScalar(
+        "auditViolations", "invariant violations found by audits");
+    stats::registerCheckViolationStats(statRoot_);
 
     buildCores();
 }
@@ -322,6 +329,34 @@ System::resetMeasurement()
         profiler_->reset();
 }
 
+std::uint64_t
+System::runAudits()
+{
+    if (statAuditRounds_)
+        ++*statAuditRounds_;
+    std::uint64_t violations = 0;
+    violations += runAudit(queue_);
+    violations += runAudit(*hierarchy_);
+    violations += runAudit(*controller_);
+    if (rrm_)
+        violations += runAudit(*rrm_);
+    violations += runAudit(wear_);
+    if (violations && statAuditViolations_)
+        *statAuditViolations_ += static_cast<double>(violations);
+    return violations;
+}
+
+void
+System::runSlice(Tick until)
+{
+    if (config_.auditEveryEvents == 0) {
+        queue_.run(until);
+        return;
+    }
+    while (queue_.run(until, config_.auditEveryEvents) > 0)
+        runAudits();
+}
+
 SimResults
 System::run()
 {
@@ -334,11 +369,11 @@ System::run()
     if (rrm_)
         rrm_->start();
 
-    queue_.run(warmup_end);
+    runSlice(warmup_end);
     resetMeasurement();
     const Tick measure_start = queue_.now();
 
-    queue_.run(end);
+    runSlice(end);
     return collectResults(measure_start, end);
 }
 

@@ -83,6 +83,16 @@ struct SystemConfig
     bool profileRegionWrites = false;
 
     /**
+     * Deep-audit cadence: after every `auditEveryEvents` executed
+     * events, run the audit() of every Auditable component (event
+     * queue, cache hierarchy, memory controller, RRM, wear tracker).
+     * 0 disables periodic audits. Violations follow the global
+     * check::FailurePolicy and are exported via the "checks" and
+     * "sys.audit*" stats.
+     */
+    std::uint64_t auditEveryEvents = 0;
+
+    /**
      * Optional user-supplied per-core profiles. When non-empty (must
      * then have one entry per core), these override the workload's
      * Table VII benchmark profiles; the pointed-to profiles must
@@ -110,6 +120,14 @@ class System : public cpu::CorePort
     /** Run warmup + measurement; return the collected results. */
     SimResults run();
 
+    /**
+     * Deep-audit every component now (also runs periodically when
+     * SystemConfig::auditEveryEvents > 0).
+     * @return Violations recorded by this round (always 0 under
+     *         FailurePolicy::Throw/Abort — the first one escapes).
+     */
+    std::uint64_t runAudits();
+
     /** The Table III profiler (nullptr unless enabled). */
     const RegionWriteProfiler *regionProfiler() const
     {
@@ -132,6 +150,7 @@ class System : public cpu::CorePort
 
   private:
     void buildCores();
+    void runSlice(Tick until);
     void tryEnqueueRead(unsigned core, Addr line);
     void onReadComplete(unsigned core, Addr line);
     void issueMemoryWrite(Addr addr, Tick when);
@@ -191,6 +210,8 @@ class System : public cpu::CorePort
     stats::Scalar *statFillRefusals_ = nullptr;
     stats::Scalar *statWritebackBlocked_ = nullptr;
     stats::Scalar *statRefreshOverflows_ = nullptr;
+    stats::Scalar *statAuditRounds_ = nullptr;
+    stats::Scalar *statAuditViolations_ = nullptr;
 };
 
 } // namespace rrm::sys

@@ -253,8 +253,9 @@ TEST(Hierarchy, InclusionHoldsUnderRandomTraffic)
         const bool is_write = rng.chance(0.4);
         if (h.access(core, addr, is_write).llcMiss)
             h.fill(core, addr, is_write);
-        if (i % 1000 == 0)
+        if (i % 1000 == 0) {
             ASSERT_TRUE(h.checkInclusion()) << "iteration " << i;
+        }
     }
     EXPECT_TRUE(h.checkInclusion());
 }
@@ -270,8 +271,9 @@ TEST(Hierarchy, AtMostOneRegistrationAndWritePerFill)
         const HierarchyEvents ev = h.access(core, addr, is_write);
         if (ev.llcMiss) {
             const HierarchyEvents fe = h.fill(core, addr, is_write);
-            if (fe.memWrite)
+            if (fe.memWrite) {
                 ASSERT_NE(fe.memWriteAddr, addr);
+            }
         }
     }
 }
