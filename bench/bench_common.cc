@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "obs/run_record.hh"
 
 namespace rrm::bench
 {
@@ -42,10 +44,22 @@ BenchOptions::parse(int argc, char **argv)
                 opts.workloads.push_back(name);
         } else if (arg == "--verbose") {
             opts.verbose = true;
+        } else if (arg == "--stats-json") {
+            opts.statsJsonStem = next_value();
+        } else if (arg == "--sample-csv") {
+            opts.sampleCsvStem = next_value();
+        } else if (arg == "--trace-jsonl") {
+            opts.traceJsonlStem = next_value();
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--json-out") {
+            opts.jsonOut = next_value();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "flags: --quick | --window-ms F | --scale F | "
-                "--seed N | --workloads a,b,c | --verbose\n");
+                "--seed N | --workloads a,b,c | --verbose | "
+                "--stats-json STEM | --sample-csv STEM | "
+                "--trace-jsonl STEM | --profile | --json-out F\n");
             std::exit(0);
         } else {
             fatal("unknown flag '", arg, "'");
@@ -76,6 +90,16 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
     cfg.timeScale = opts.timeScale;
     cfg.warmupFraction = opts.warmupFraction;
     cfg.seed = opts.seed;
+
+    const std::string run_tag = workload.name + "." + scheme.name();
+    if (!opts.statsJsonStem.empty())
+        cfg.obs.runRecordFile = opts.statsJsonStem + "." + run_tag + ".json";
+    if (!opts.sampleCsvStem.empty())
+        cfg.obs.sampleCsvFile = opts.sampleCsvStem + "." + run_tag + ".csv";
+    if (!opts.traceJsonlStem.empty())
+        cfg.obs.traceFile = opts.traceJsonlStem + "." + run_tag + ".jsonl";
+    cfg.obs.profiling = opts.profile;
+
     if (hook)
         hook(cfg);
     return cfg;
@@ -133,6 +157,54 @@ printRule(int width)
     for (int i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+void
+writeBenchReport(const std::string &path,
+                 const std::string &bench_name, const BenchOptions &opts,
+                 const std::vector<trace::Workload> &workloads,
+                 const std::vector<sys::Scheme> &schemes,
+                 const std::vector<std::vector<sys::SimResults>> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open bench report file ", path);
+
+    obs::JsonWriter json(os, /*pretty=*/true);
+    json.beginObject();
+    json.field("schemaVersion", benchReportSchemaVersion);
+    json.field("bench", bench_name);
+    json.key("metadata");
+    obs::writeRunMetadata(json, obs::currentRunMetadata());
+
+    json.key("options");
+    json.beginObject();
+    json.field("windowSeconds", opts.windowSeconds);
+    json.field("timeScale", opts.timeScale);
+    json.field("warmupFraction", opts.warmupFraction);
+    json.field("seed", opts.seed);
+    json.endObject();
+
+    json.key("workloads");
+    json.beginArray();
+    for (const auto &w : workloads)
+        json.value(w.name);
+    json.endArray();
+    json.key("schemes");
+    json.beginArray();
+    for (const auto &s : schemes)
+        json.value(s.name());
+    json.endArray();
+
+    json.key("runs");
+    json.beginArray();
+    for (const auto &row : results)
+        for (const auto &r : row)
+            r.toJson(json);
+    json.endArray();
+
+    json.endObject();
+    os << '\n';
 }
 
 } // namespace rrm::bench

@@ -37,6 +37,22 @@ struct BenchOptions
     bool verbose = false;
 
     /**
+     * @{ Per-run observability outputs. Each stem produces one file
+     * per (workload, scheme) run, named
+     * `<stem>.<workload>.<scheme><ext>`, via SystemConfig::obs.
+     */
+    std::string statsJsonStem;  ///< run records (--stats-json)
+    std::string sampleCsvStem;  ///< sampled time series (--sample-csv)
+    std::string traceJsonlStem; ///< JSONL traces (--trace-jsonl)
+    /** @} */
+
+    /** Wall-clock self-profiling into the run records (--profile). */
+    bool profile = false;
+
+    /** Bench-report path override (--json-out); bench default if empty. */
+    std::string jsonOut;
+
+    /**
      * Parse argv. Recognized flags:
      *   --quick            8 ms window (smoke-test the bench)
      *   --window-ms <f>    window length in milliseconds
@@ -44,6 +60,11 @@ struct BenchOptions
      *   --seed <n>
      *   --workloads a,b,c  subset of Table VII names
      *   --verbose
+     *   --stats-json S     per-run run-record JSON files S.<run>.json
+     *   --sample-csv S     per-run sampled time series S.<run>.csv
+     *   --trace-jsonl S    per-run JSONL trace files S.<run>.jsonl
+     *   --profile          wall-clock self-profiling in run records
+     *   --json-out F       bench-report path (benches that emit one)
      */
     static BenchOptions parse(int argc, char **argv);
 
@@ -84,6 +105,22 @@ double geomeanOver(const std::vector<sys::SimResults> &results,
 void printTitle(const std::string &title);
 void printRule(int width = 98);
 /** @} */
+
+/** Schema version of the machine-readable bench reports. */
+constexpr int benchReportSchemaVersion = 1;
+
+/**
+ * Write a machine-readable report of a bench's run matrix: schema
+ * version, bench name, build metadata, the options of the run, and
+ * one full SimResults record per (workload, scheme) pair. fatal() if
+ * the file cannot be opened.
+ */
+void writeBenchReport(
+    const std::string &path, const std::string &bench_name,
+    const BenchOptions &opts,
+    const std::vector<trace::Workload> &workloads,
+    const std::vector<sys::Scheme> &schemes,
+    const std::vector<std::vector<sys::SimResults>> &results);
 
 } // namespace rrm::bench
 

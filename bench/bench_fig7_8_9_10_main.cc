@@ -35,6 +35,14 @@ main(int argc, char **argv)
     const std::size_t n = workloads.size();
     const std::size_t rrm_idx = schemes.size() - 1;
 
+    // Machine-readable copy of the whole matrix (--json-out overrides).
+    const std::string json_out =
+        opts.jsonOut.empty() ? "BENCH_fig7.json" : opts.jsonOut;
+    bench::writeBenchReport(json_out, "fig7_8_9_10", opts, workloads,
+                            schemes, results);
+    std::fprintf(stderr, "bench report written to %s\n",
+                 json_out.c_str());
+
     // ---- Figure 7 ----
     bench::printTitle(
         "Figure 7: IPC normalized to Static-7-SETs (RRM vs statics)");

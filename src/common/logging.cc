@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <execinfo.h>
 #include <iostream>
+#include <mutex>
+#include <unordered_set>
 
 namespace rrm
 {
@@ -21,6 +23,59 @@ namespace
 
 std::atomic<std::uint64_t> warnCounter{0};
 std::atomic<bool> quietMode{false};
+std::atomic<int> minSeverity{static_cast<int>(LogSeverity::Info)};
+
+/** Guards the sink and the warn_once registry. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+std::unordered_set<std::string> &
+warnOnceSeen()
+{
+    static std::unordered_set<std::string> seen;
+    return seen;
+}
+
+void
+defaultSink(LogSeverity severity, const std::string &msg)
+{
+    if (severity == LogSeverity::Warn)
+        std::cerr << "warn: " << msg << '\n';
+    else
+        std::cout << "info: " << msg << '\n';
+}
+
+/** Apply quiet mode and the severity filter, then route to a sink. */
+void
+dispatch(LogSeverity severity, const std::string &msg)
+{
+    if (quietMode.load(std::memory_order_relaxed))
+        return;
+    if (static_cast<int>(severity) <
+        minSeverity.load(std::memory_order_relaxed)) {
+        return;
+    }
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        sink = sinkSlot();
+    }
+    if (sink)
+        sink(severity, msg);
+    else
+        defaultSink(severity, msg);
+}
 
 } // namespace
 
@@ -28,15 +83,27 @@ void
 emitWarn(const std::string &msg)
 {
     warnCounter.fetch_add(1, std::memory_order_relaxed);
-    if (!quietMode.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << msg << '\n';
+    dispatch(LogSeverity::Warn, msg);
 }
 
 void
 emitInform(const std::string &msg)
 {
-    if (!quietMode.load(std::memory_order_relaxed))
-        std::cout << "info: " << msg << '\n';
+    dispatch(LogSeverity::Info, msg);
+}
+
+bool
+shouldWarnOnce(const std::string &category)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    return warnOnceSeen().insert(category).second;
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    warnOnceSeen().clear();
 }
 
 std::uint64_t
@@ -61,6 +128,19 @@ void
 setQuiet(bool quiet)
 {
     quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    sinkSlot() = std::move(sink);
+}
+
+void
+setMinSeverity(LogSeverity min)
+{
+    minSeverity.store(static_cast<int>(min), std::memory_order_relaxed);
 }
 
 } // namespace log_detail

@@ -14,6 +14,8 @@
 #ifndef RRM_COMMON_LOGGING_HH
 #define RRM_COMMON_LOGGING_HH
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +41,21 @@ class PanicError : public std::logic_error
     {}
 };
 
+/** Severity of a routed log message. */
+enum class LogSeverity : int
+{
+    Info = 0, ///< inform(): plain status output
+    Warn = 1, ///< warn(): questionable but survivable
+};
+
+/**
+ * Pluggable destination for warn()/inform() messages. The message
+ * has no trailing newline and no severity prefix; the sink decides
+ * presentation. The default sink writes "info: ..." to stdout and
+ * "warn: ..." to stderr, as the simulator always has.
+ */
+using LogSink = std::function<void(LogSeverity, const std::string &)>;
+
 namespace log_detail
 {
 
@@ -55,6 +72,12 @@ concat(Args &&...args)
 void emitWarn(const std::string &msg);
 void emitInform(const std::string &msg);
 
+/** True if `category` has not warned before (and mark it). */
+bool shouldWarnOnce(const std::string &category);
+
+/** Forget every warn_once() category (tests). */
+void resetWarnOnce();
+
 /** abort() instead of throwing when RRM_ABORT_ON_PANIC is set. */
 void maybeAbort(const std::string &msg);
 
@@ -63,6 +86,20 @@ std::uint64_t warnCount();
 
 /** Silence / restore warn+inform output (used by tests and sweeps). */
 void setQuiet(bool quiet);
+
+/**
+ * Install a log sink for warn()/inform() output; an empty function
+ * restores the default stderr/stdout sink. setQuiet() and the
+ * severity filter apply before the sink sees anything; warnCount()
+ * counts every warn() call regardless.
+ */
+void setLogSink(LogSink sink);
+
+/**
+ * Drop messages below `min` before they reach the sink
+ * (Warn silences inform(); warnCount() still counts warn() calls).
+ */
+void setMinSeverity(LogSeverity min);
 
 } // namespace log_detail
 
@@ -100,6 +137,22 @@ void
 inform(Args &&...args)
 {
     log_detail::emitInform(log_detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Warn at most once per `category` for the process lifetime (e.g.
+ * per-feature "this configuration is approximate" notes that would
+ * otherwise flood a sweep). The category string is prepended to the
+ * message.
+ */
+template <typename... Args>
+void
+warn_once(const std::string &category, Args &&...args)
+{
+    if (!log_detail::shouldWarnOnce(category))
+        return;
+    warn(category, ": ",
+         log_detail::concat(std::forward<Args>(args)...));
 }
 
 /** panic() unless the given condition holds. */

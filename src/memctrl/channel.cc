@@ -41,6 +41,11 @@ Channel::enqueueRead(Request req)
     req.enqueueTick = queue_.now();
     ++enqueued_[static_cast<std::size_t>(ReqKind::Read)];
     readQ_.push_back(std::move(req));
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
+              "readEnq", RRM_TF("channel", index_),
+              RRM_TF("readQ", readQ_.size()),
+              RRM_TF("writeQ", writeQ_.size()),
+              RRM_TF("refreshQ", refreshQ_.size()));
     trySchedule();
     return true;
 }
@@ -55,6 +60,11 @@ Channel::enqueueWrite(Request req)
     req.enqueueTick = queue_.now();
     ++enqueued_[static_cast<std::size_t>(ReqKind::Write)];
     writeQ_.push_back(std::move(req));
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
+              "writeEnq", RRM_TF("channel", index_),
+              RRM_TF("readQ", readQ_.size()),
+              RRM_TF("writeQ", writeQ_.size()),
+              RRM_TF("refreshQ", refreshQ_.size()));
     trySchedule();
     return true;
 }
@@ -69,6 +79,11 @@ Channel::enqueueRefresh(Request req)
     req.enqueueTick = queue_.now();
     ++enqueued_[static_cast<std::size_t>(ReqKind::RrmRefresh)];
     refreshQ_.push_back(std::move(req));
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
+              "refreshEnq", RRM_TF("channel", index_),
+              RRM_TF("readQ", readQ_.size()),
+              RRM_TF("writeQ", writeQ_.size()),
+              RRM_TF("refreshQ", refreshQ_.size()));
     trySchedule();
     return true;
 }

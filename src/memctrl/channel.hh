@@ -25,6 +25,7 @@
 #include "common/auditable.hh"
 #include "memctrl/address_map.hh"
 #include "memctrl/request.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
@@ -72,6 +73,12 @@ class Channel : public Auditable
     {
         writeIssuedHook_ = std::move(hook);
     }
+
+    /**
+     * Attach a trace sink for queue-occupancy events (one per accepted
+     * request). Null detaches; the channel never owns the sink.
+     */
+    void setTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
 
     /** Register statistics under the given group. */
     void regStats(stats::StatGroup &group);
@@ -175,6 +182,7 @@ class Channel : public Auditable
 
     CompletionHook completionHook_;
     WriteIssuedHook writeIssuedHook_;
+    obs::TraceSink *traceSink_ = nullptr;
 
     stats::Scalar *statReads_ = nullptr;
     stats::Scalar *statRowHits_ = nullptr;

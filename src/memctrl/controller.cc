@@ -71,6 +71,13 @@ Controller::setWriteIssuedHook(WriteIssuedHook hook)
         ch->setWriteIssuedHook(hook);
 }
 
+void
+Controller::setTraceSink(obs::TraceSink *sink)
+{
+    for (auto &ch : channels_)
+        ch->setTraceSink(sink);
+}
+
 std::size_t
 Controller::totalReadQueue() const
 {

@@ -56,6 +56,9 @@ class Controller : public Auditable
     /** Hook invoked when any channel issues a write (drain space). */
     void setWriteIssuedHook(WriteIssuedHook hook);
 
+    /** Forward a trace sink to every channel (null detaches). */
+    void setTraceSink(obs::TraceSink *sink);
+
     /** Aggregate queue occupancies (tests / reporting). */
     std::size_t totalReadQueue() const;
     std::size_t totalWriteQueue() const;

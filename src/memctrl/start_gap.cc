@@ -125,7 +125,16 @@ StartGapRemapper::remap(Addr addr) const
 bool
 StartGapRemapper::onWrite(Addr addr)
 {
-    return domains_[domainOf(addr)].onWrite();
+    const std::uint64_t domain = domainOf(addr);
+    const bool moved = domains_[domain].onWrite();
+    if (moved) {
+        RRM_TRACE(traceSink_, traceNow_ ? traceNow_() : 0,
+                  obs::TraceCategory::StartGap, "gapMove",
+                  RRM_TF("domain", domain),
+                  RRM_TF("gap", domains_[domain].gap()),
+                  RRM_TF("start", domains_[domain].start()));
+    }
+    return moved;
 }
 
 void

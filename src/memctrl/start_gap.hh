@@ -25,12 +25,14 @@
 #define RRM_MEMCTRL_START_GAP_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/units.hh"
+#include "obs/trace.hh"
 
 namespace rrm::memctrl
 {
@@ -122,6 +124,18 @@ class StartGapRemapper : public Auditable
      */
     bool onWrite(Addr addr);
 
+    /**
+     * Attach a trace sink for gap-movement events. The remapper has
+     * no clock of its own, so the caller supplies a tick source
+     * (empty `now` stamps events with tick 0). Null detaches.
+     */
+    void
+    setTraceSink(obs::TraceSink *sink, std::function<Tick()> now = {})
+    {
+        traceSink_ = sink;
+        traceNow_ = std::move(now);
+    }
+
     std::uint64_t numDomains() const
     {
         return static_cast<std::uint64_t>(domains_.size());
@@ -152,6 +166,8 @@ class StartGapRemapper : public Auditable
     StartGapParams params_;
     std::uint64_t memoryBytes_;
     std::vector<StartGapDomain> domains_;
+    obs::TraceSink *traceSink_ = nullptr;
+    std::function<Tick()> traceNow_;
 };
 
 /**

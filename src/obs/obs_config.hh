@@ -1,0 +1,73 @@
+/**
+ * @file
+ * User-facing observability knobs, embedded in SystemConfig. All
+ * outputs are off by default so untouched configurations behave (and
+ * cost) exactly as before.
+ */
+
+#ifndef RRM_OBS_OBS_CONFIG_HH
+#define RRM_OBS_OBS_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace rrm::obs
+{
+
+/** Observability configuration of one simulation run. */
+struct ObsOptions
+{
+    /**
+     * Trace output file; empty disables tracing entirely (the trace
+     * macros then cost one pointer test). JSONL by default.
+     */
+    std::string traceFile;
+
+    /** Human-readable text instead of JSONL. */
+    bool traceText = false;
+
+    /** Enabled trace categories (bits of obs::TraceCategory). */
+    std::uint32_t traceCategories = traceAllCategories;
+
+    /**
+     * Ring capacity used while no writer is attached (pre-attach
+     * buffering and sinks created without a file).
+     */
+    std::size_t traceRingCapacity = 4096;
+
+    /**
+     * Sampling interval in *scaled* seconds. 0 disables sampling;
+     * negative selects the RRM decay-tick interval (0.125 s at native
+     * scale — one row per decay epoch), or 0.125 s / timeScale for
+     * static schemes.
+     */
+    double sampleIntervalSeconds = 0.0;
+
+    /** Sampled time series outputs; empty = keep in memory only. */
+    std::string sampleCsvFile;
+    std::string sampleJsonlFile;
+
+    /**
+     * Full run record (metadata + config + results + stats tree +
+     * profile) written at the end of System::run().
+     */
+    std::string runRecordFile;
+
+    /** Collect wall-clock self-profiling data. */
+    bool profiling = false;
+
+    /** True if any observability feature is requested. */
+    bool
+    anyEnabled() const
+    {
+        return !traceFile.empty() || sampleIntervalSeconds != 0.0 ||
+               !sampleCsvFile.empty() || !sampleJsonlFile.empty() ||
+               !runRecordFile.empty() || profiling;
+    }
+};
+
+} // namespace rrm::obs
+
+#endif // RRM_OBS_OBS_CONFIG_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator self-profiling: scoped wall-clock timers aggregated into
+ * a hierarchy of dotted nodes ("system.run.measure", "rrm.decay",
+ * ...). Every ScopedTimer that runs while another is open becomes a
+ * child of the open one, so the report shows where wall time actually
+ * went — a baseline for future performance work.
+ *
+ * The profiler is single-threaded like the simulator itself. Timings
+ * are wall-clock and therefore nondeterministic; the JSON exporters
+ * keep profile data in a separate "profile" section so the
+ * deterministic stats payload stays byte-reproducible.
+ */
+
+#ifndef RRM_OBS_PROFILER_HH
+#define RRM_OBS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace rrm::obs
+{
+
+/** Aggregated hierarchical wall-clock profile. */
+class Profiler
+{
+  public:
+    /** One aggregation node (all samples of one dotted path). */
+    struct Node
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t totalNs = 0;
+    };
+
+    /**
+     * Open a scope named `name` nested under the currently open
+     * scope. Prefer RRM_PROFILE / ScopedTimer; the raw enter/leave
+     * pair exists for tests, which feed deterministic durations.
+     */
+    void enter(const char *name);
+
+    /** Close the innermost scope, crediting it `elapsed_ns`. */
+    void leave(std::uint64_t elapsed_ns);
+
+    /** Nodes keyed by dotted path (sorted, deterministic order). */
+    const std::map<std::string, Node> &nodes() const { return nodes_; }
+
+    /** Currently open scope depth (0 at quiescence). */
+    std::size_t depth() const { return stack_.size(); }
+
+    /** Drop all aggregated data (open scopes stay open). */
+    void reset();
+
+    /**
+     * Human-readable report: one line per node with call count,
+     * total ms, and exclusive ms (total minus direct children).
+     */
+    void report(std::ostream &os) const;
+
+    /**
+     * Emit {"path": {"calls": n, "totalNs": n, "exclusiveNs": n}}
+     * into an enclosing JsonWriter positioned at a value slot.
+     */
+    void writeJson(JsonWriter &json) const;
+
+  private:
+    /** Sum of totalNs over the direct children of `path`. */
+    std::uint64_t childNs(const std::string &path) const;
+
+    std::map<std::string, Node> nodes_;
+    std::vector<std::string> stack_; ///< dotted path per open scope
+};
+
+/**
+ * RAII wall-clock timer. A null profiler makes it a no-op, so call
+ * sites need no separate "is profiling on" branch.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Profiler *profiler, const char *name)
+        : profiler_(profiler)
+    {
+        if (profiler_) {
+            profiler_->enter(name);
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (profiler_) {
+            const auto elapsed =
+                std::chrono::steady_clock::now() - start_;
+            profiler_->leave(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed)
+                    .count()));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Profiler *profiler_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace rrm::obs
+
+/** @{ Scoped profiling of the rest of the enclosing block. */
+#define RRM_PROFILE_CAT2(a, b) a##b
+#define RRM_PROFILE_CAT(a, b) RRM_PROFILE_CAT2(a, b)
+#define RRM_PROFILE(profiler, name)                                         \
+    ::rrm::obs::ScopedTimer RRM_PROFILE_CAT(rrm_prof_scope_,                \
+                                            __LINE__)((profiler), (name))
+/** @} */
+
+#endif // RRM_OBS_PROFILER_HH

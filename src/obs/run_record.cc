@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run-record metadata implementation.
+ */
+
+#include "run_record.hh"
+
+#include <ctime>
+
+namespace rrm::obs
+{
+
+RunMetadata
+currentRunMetadata()
+{
+    RunMetadata meta;
+#ifdef RRM_GIT_DESCRIBE
+    meta.gitDescribe = RRM_GIT_DESCRIBE;
+#else
+    meta.gitDescribe = "unknown";
+#endif
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc)) {
+        char buf[32];
+        if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                          &tm_utc)) {
+            meta.timestampUtc = buf;
+        }
+    }
+    return meta;
+}
+
+void
+writeRunMetadata(JsonWriter &json, const RunMetadata &meta)
+{
+    json.beginObject();
+    json.field("tool", meta.tool);
+    json.field("gitDescribe", meta.gitDescribe);
+    json.field("timestampUtc", meta.timestampUtc);
+    json.endObject();
+}
+
+} // namespace rrm::obs

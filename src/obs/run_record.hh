@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run-record metadata: everything needed to attribute an exported
+ * JSON document to a build and a moment in time. The simulator parts
+ * of a run record (config, results, stats) are assembled by
+ * System::writeRunRecord; this header owns the generic envelope.
+ */
+
+#ifndef RRM_OBS_RUN_RECORD_HH
+#define RRM_OBS_RUN_RECORD_HH
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace rrm::obs
+{
+
+/** Schema version stamped into every exported run record. */
+constexpr int runRecordSchemaVersion = 1;
+
+/** Build / host metadata of the running binary. */
+struct RunMetadata
+{
+    std::string tool = "rrm_pcm";
+    std::string gitDescribe; ///< from the build system; "unknown" if absent
+    std::string timestampUtc; ///< ISO-8601, empty if unavailable
+};
+
+/**
+ * Metadata of this process: git describe captured at configure time
+ * plus the current UTC wall-clock time.
+ */
+RunMetadata currentRunMetadata();
+
+/**
+ * Emit the metadata envelope ({"tool": ..., "gitDescribe": ...,
+ * "timestampUtc": ...}) at the writer's current value slot.
+ */
+void writeRunMetadata(JsonWriter &json, const RunMetadata &meta);
+
+} // namespace rrm::obs
+
+#endif // RRM_OBS_RUN_RECORD_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sampler implementation.
+ */
+
+#include "sampler.hh"
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace rrm::obs
+{
+
+double
+statValue(const stats::StatBase *stat)
+{
+    if (!stat)
+        return 0.0;
+    if (const auto *s = dynamic_cast<const stats::Scalar *>(stat))
+        return s->value();
+    if (const auto *f = dynamic_cast<const stats::Formula *>(stat))
+        return f->value();
+    if (const auto *v = dynamic_cast<const stats::VectorStat *>(stat))
+        return v->total();
+    if (const auto *d =
+            dynamic_cast<const stats::DistributionStat *>(stat))
+        return static_cast<double>(d->samples().count());
+    return 0.0;
+}
+
+Sampler::Sampler(EventQueue &queue, Tick interval)
+    : queue_(queue), interval_(interval)
+{
+    RRM_ASSERT(interval_ > 0, "sampler interval must be positive");
+}
+
+void
+Sampler::addColumn(std::string name, ColumnFn fn)
+{
+    RRM_ASSERT(rows_.empty(),
+               "sampler columns must be registered before sampling");
+    RRM_ASSERT(fn, "sampler column needs a function");
+    columnNames_.push_back(std::move(name));
+    columns_.push_back(std::move(fn));
+}
+
+void
+Sampler::addStat(const stats::StatGroup &root, const std::string &path)
+{
+    addColumn(path,
+              [&root, path] { return statValue(root.find(path)); });
+}
+
+void
+Sampler::start()
+{
+    RRM_ASSERT(!task_, "sampler already started");
+    task_ = std::make_unique<PeriodicTask>(
+        queue_, interval_, queue_.now() + interval_,
+        [this] { sampleNow(); }, EventPriority::Sampler);
+}
+
+void
+Sampler::stop()
+{
+    task_.reset();
+}
+
+void
+Sampler::sampleNow()
+{
+    Row row;
+    row.tick = queue_.now();
+    row.values.reserve(columns_.size());
+    for (const ColumnFn &fn : columns_)
+        row.values.push_back(fn());
+    rows_.push_back(std::move(row));
+    RRM_TRACE(traceSink_, queue_.now(), TraceCategory::Sampler,
+              "sample", RRM_TF("row", rows_.size() - 1),
+              RRM_TF("columns", columns_.size()));
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "time_s";
+    for (const std::string &name : columnNames_)
+        os << ',' << name;
+    os << '\n';
+    for (const Row &row : rows_) {
+        os << jsonNumber(ticksToSeconds(row.tick));
+        for (const double v : row.values)
+            os << ',' << jsonNumber(v);
+        os << '\n';
+    }
+}
+
+void
+Sampler::writeJsonl(std::ostream &os) const
+{
+    for (const Row &row : rows_) {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("time_s", ticksToSeconds(row.tick));
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            json.field(columnNames_[c], row.values[c]);
+        json.endObject();
+        os << '\n';
+    }
+}
+
+} // namespace rrm::obs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * JSON / CSV stat writer implementations.
+ */
+
+#include "stat_writers.hh"
+
+namespace rrm::obs
+{
+
+std::string
+JsonStatWriter::leaf(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+void
+JsonStatWriter::enterGroup(const std::string &path)
+{
+    if (root_) {
+        // The root group becomes the top-level object itself.
+        root_ = false;
+        json_.beginObject();
+        return;
+    }
+    json_.key(leaf(path));
+    json_.beginObject();
+}
+
+void
+JsonStatWriter::leaveGroup(const std::string &path)
+{
+    (void)path;
+    json_.endObject();
+}
+
+void
+JsonStatWriter::visitScalar(const std::string &path,
+                            const stats::Scalar &stat)
+{
+    json_.field(leaf(path), stat.value());
+}
+
+void
+JsonStatWriter::visitFormula(const std::string &path,
+                             const stats::Formula &stat)
+{
+    json_.field(leaf(path), stat.value());
+}
+
+void
+JsonStatWriter::visitVector(const std::string &path,
+                            const stats::VectorStat &stat)
+{
+    json_.key(leaf(path));
+    json_.beginObject();
+    json_.key("bins");
+    json_.beginObject();
+    for (std::size_t i = 0; i < stat.size(); ++i)
+        json_.field(stat.binName(i), stat.value(i));
+    json_.endObject();
+    json_.field("total", stat.total());
+    json_.endObject();
+}
+
+void
+JsonStatWriter::visitDistribution(const std::string &path,
+                                  const stats::DistributionStat &stat)
+{
+    json_.key(leaf(path));
+    json_.beginObject();
+    json_.field("samples", stat.samples().count());
+    json_.field("mean", stat.samples().mean());
+    json_.key("buckets");
+    json_.beginObject();
+    const BoundedHistogram &hist = stat.histogram();
+    for (std::size_t i = 0; i < hist.numBuckets(); ++i)
+        json_.field(hist.bucketLabel(i), hist.count(i));
+    json_.endObject();
+    json_.endObject();
+}
+
+std::string
+csvQuote(const std::string &field)
+{
+    const bool needs =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvStatWriter::CsvStatWriter(std::ostream &os) : os_(os)
+{
+    os_ << "stat,value,description\n";
+}
+
+void
+CsvStatWriter::row(const std::string &name, double value,
+                   const std::string &desc)
+{
+    os_ << csvQuote(name) << ',' << jsonNumber(value) << ','
+        << csvQuote(desc) << '\n';
+}
+
+void
+CsvStatWriter::visitScalar(const std::string &path,
+                           const stats::Scalar &stat)
+{
+    row(path, stat.value(), stat.desc());
+}
+
+void
+CsvStatWriter::visitFormula(const std::string &path,
+                            const stats::Formula &stat)
+{
+    row(path, stat.value(), stat.desc());
+}
+
+void
+CsvStatWriter::visitVector(const std::string &path,
+                           const stats::VectorStat &stat)
+{
+    for (std::size_t i = 0; i < stat.size(); ++i)
+        row(path + "::" + stat.binName(i), stat.value(i), stat.desc());
+    row(path + "::total", stat.total(), stat.desc());
+}
+
+void
+CsvStatWriter::visitDistribution(const std::string &path,
+                                 const stats::DistributionStat &stat)
+{
+    row(path + "::samples",
+        static_cast<double>(stat.samples().count()), stat.desc());
+    row(path + "::mean", stat.samples().mean(), stat.desc());
+    const BoundedHistogram &hist = stat.histogram();
+    for (std::size_t i = 0; i < hist.numBuckets(); ++i) {
+        row(path + "::" + hist.bucketLabel(i),
+            static_cast<double>(hist.count(i)), stat.desc());
+    }
+}
+
+void
+writeStatsJson(std::ostream &os, const stats::StatGroup &root,
+               bool pretty)
+{
+    JsonWriter json(os, pretty);
+    JsonStatWriter writer(json);
+    root.visit(writer);
+    os << '\n';
+}
+
+void
+writeStatsCsv(std::ostream &os, const stats::StatGroup &root)
+{
+    CsvStatWriter writer(os);
+    root.visit(writer);
+}
+
+} // namespace rrm::obs

@@ -91,6 +91,12 @@ RegionMonitor::allocate(std::uint64_t region_id)
                 slot = &base[w];
         if (statEvictions_)
             ++*statEvictions_;
+        RRM_TRACE(traceSink_, queue_.now(),
+                  obs::TraceCategory::RrmLifecycle, "evict",
+                  RRM_TF("region", slot->regionId),
+                  RRM_TF("hot", slot->hot),
+                  RRM_TF("vectorBits",
+                         slot->shortRetentionVector.popcount()));
         if (slot->shortRetentionVector.any()) {
             // Fast-written blocks lose their tracker: hand them back
             // to long retention before dropping the entry.
@@ -109,6 +115,8 @@ RegionMonitor::allocate(std::uint64_t region_id)
     slot->lruStamp = ++lruClock_;
     if (statAllocations_)
         ++*statAllocations_;
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::RrmLifecycle,
+              "alloc", RRM_TF("region", region_id));
     return *slot;
 }
 
@@ -142,6 +150,10 @@ RegionMonitor::registerLlcWrite(Addr addr, bool was_dirty)
             entry->hot = true;
             if (statPromotions_)
                 ++*statPromotions_;
+            RRM_TRACE(traceSink_, queue_.now(),
+                      obs::TraceCategory::RrmLifecycle, "promote",
+                      RRM_TF("region", region_id),
+                      RRM_TF("counter", entry->dirtyWriteCounter));
         }
     }
 
@@ -174,6 +186,10 @@ void
 RegionMonitor::emitRefresh(Addr block_addr, pcm::WriteMode mode,
                            bool from_decay)
 {
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Refresh,
+              "refresh", RRM_TF("block", block_addr),
+              RRM_TF("sets", pcm::setIterations(mode)),
+              RRM_TF("fromDecay", from_decay));
     if (refreshCallback_)
         refreshCallback_(RefreshRequest{block_addr, mode, from_decay});
 }
@@ -190,15 +206,25 @@ RegionMonitor::demote(Entry &entry, bool from_eviction)
     });
     entry.shortRetentionVector.reset();
     entry.hot = false;
-    if (!from_eviction && statDemotions_)
-        ++*statDemotions_;
+    if (!from_eviction) {
+        if (statDemotions_)
+            ++*statDemotions_;
+        RRM_TRACE(traceSink_, queue_.now(),
+                  obs::TraceCategory::RrmLifecycle, "demote",
+                  RRM_TF("region", entry.regionId),
+                  RRM_TF("counter", entry.dirtyWriteCounter));
+    }
 }
 
 void
 RegionMonitor::onShortRetentionInterrupt()
 {
+    RRM_PROFILE(profiler_, "rrm.refreshRound");
     if (statRefreshRounds_)
         ++*statRefreshRounds_;
+    RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Refresh,
+              "refreshRound", RRM_TF("hotEntries", hotEntryCount()),
+              RRM_TF("vectorBits", shortRetentionBlockCount()));
     for (auto &entry : entries_) {
         if (!entry.valid || !entry.hot)
             continue;
@@ -215,6 +241,7 @@ RegionMonitor::onShortRetentionInterrupt()
 void
 RegionMonitor::onDecayTick()
 {
+    RRM_PROFILE(profiler_, "rrm.decayTick");
     for (auto &entry : entries_) {
         if (!entry.valid)
             continue;

@@ -42,6 +42,8 @@
 
 #include "common/auditable.hh"
 #include "common/bitvector.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 #include "rrm/rrm_config.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
@@ -81,6 +83,19 @@ class RegionMonitor : public Auditable
     {
         refreshCallback_ = std::move(cb);
     }
+
+    /**
+     * Attach a trace sink for entry-lifecycle (register / allocate /
+     * promote / demote / evict) and refresh-emission events. Null
+     * detaches; the monitor never owns the sink.
+     */
+    void setTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
+
+    /**
+     * Attach a wall-clock profiler; refresh rounds and decay ticks
+     * then report as "rrm.refreshRound" / "rrm.decayTick" scopes.
+     */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
 
     /**
      * Arm the periodic short-retention and decay interrupts. The
@@ -176,6 +191,8 @@ class RegionMonitor : public Auditable
     std::uint64_t lruClock_ = 0;
 
     RefreshCallback refreshCallback_;
+    obs::TraceSink *traceSink_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     std::unique_ptr<PeriodicTask> refreshTask_;
     std::unique_ptr<PeriodicTask> decayTask_;
 

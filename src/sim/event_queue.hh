@@ -36,6 +36,7 @@ enum class EventPriority : int
     MemoryResponse = 10,  ///< memory completions before new activity
     Default = 20,
     CpuTick = 30,         ///< cores advance after the memory system
+    Sampler = 40,         ///< stat sampling observes the settled tick
 };
 
 /** Global discrete-event queue. */

@@ -32,25 +32,10 @@ dumpLine(std::ostream &os, const std::string &path, double value,
 
 } // namespace
 
-void
-Scalar::dump(std::ostream &os, const std::string &prefix) const
-{
-    dumpLine(os, joinPath(prefix, name()), value_, desc());
-}
-
 double
 VectorStat::total() const
 {
     return std::accumulate(values_.begin(), values_.end(), 0.0);
-}
-
-void
-VectorStat::dump(std::ostream &os, const std::string &prefix) const
-{
-    const std::string base = joinPath(prefix, name());
-    for (std::size_t i = 0; i < values_.size(); ++i)
-        dumpLine(os, base + "::" + binNames_[i], values_[i], desc());
-    dumpLine(os, base + "::total", total(), desc());
 }
 
 void
@@ -60,21 +45,40 @@ VectorStat::reset()
 }
 
 void
-Formula::dump(std::ostream &os, const std::string &prefix) const
+TextStatWriter::visitScalar(const std::string &path, const Scalar &stat)
 {
-    dumpLine(os, joinPath(prefix, name()), value(), desc());
+    dumpLine(os_, path, stat.value(), stat.desc());
 }
 
 void
-DistributionStat::dump(std::ostream &os, const std::string &prefix) const
+TextStatWriter::visitVector(const std::string &path,
+                            const VectorStat &stat)
 {
-    const std::string base = joinPath(prefix, name());
-    dumpLine(os, base + "::samples",
-             static_cast<double>(samples_.count()), desc());
-    dumpLine(os, base + "::mean", samples_.mean(), desc());
-    for (std::size_t i = 0; i < hist_.numBuckets(); ++i) {
-        dumpLine(os, base + "::" + hist_.bucketLabel(i),
-                 static_cast<double>(hist_.count(i)), desc());
+    for (std::size_t i = 0; i < stat.size(); ++i) {
+        dumpLine(os_, path + "::" + stat.binName(i), stat.value(i),
+                 stat.desc());
+    }
+    dumpLine(os_, path + "::total", stat.total(), stat.desc());
+}
+
+void
+TextStatWriter::visitFormula(const std::string &path,
+                             const Formula &stat)
+{
+    dumpLine(os_, path, stat.value(), stat.desc());
+}
+
+void
+TextStatWriter::visitDistribution(const std::string &path,
+                                  const DistributionStat &stat)
+{
+    dumpLine(os_, path + "::samples",
+             static_cast<double>(stat.samples().count()), stat.desc());
+    dumpLine(os_, path + "::mean", stat.samples().mean(), stat.desc());
+    const BoundedHistogram &hist = stat.histogram();
+    for (std::size_t i = 0; i < hist.numBuckets(); ++i) {
+        dumpLine(os_, path + "::" + hist.bucketLabel(i),
+                 static_cast<double>(hist.count(i)), stat.desc());
     }
 }
 
@@ -124,13 +128,22 @@ StatGroup::addChild(const std::string &name)
 }
 
 void
-StatGroup::dump(std::ostream &os, const std::string &prefix) const
+StatGroup::visit(StatVisitor &visitor, const std::string &prefix) const
 {
     const std::string path = joinPath(prefix, name_);
+    visitor.enterGroup(path);
     for (const auto &stat : statsInOrder_)
-        stat->dump(os, path);
+        stat->accept(visitor, joinPath(path, stat->name()));
     for (const auto &child : children_)
-        child->dump(os, path);
+        child->visit(visitor, path);
+    visitor.leaveGroup(path);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    TextStatWriter writer(os);
+    visit(writer, prefix);
 }
 
 void
@@ -145,18 +158,24 @@ StatGroup::reset()
 const StatBase *
 StatGroup::find(const std::string &dotted_path) const
 {
+    // Children first: every same-named child is tried in registration
+    // order, so a child created after an identically named sibling
+    // (or after stats of this group) still resolves.
     const auto dot = dotted_path.find('.');
-    if (dot == std::string::npos) {
-        for (const auto &stat : statsInOrder_)
-            if (stat->name() == dotted_path)
-                return stat.get();
-        return nullptr;
+    if (dot != std::string::npos) {
+        const std::string head = dotted_path.substr(0, dot);
+        const std::string rest = dotted_path.substr(dot + 1);
+        for (const auto &child : children_) {
+            if (child->name() != head)
+                continue;
+            if (const StatBase *hit = child->find(rest))
+                return hit;
+        }
     }
-    const std::string head = dotted_path.substr(0, dot);
-    const std::string rest = dotted_path.substr(dot + 1);
-    for (const auto &child : children_)
-        if (child->name() == head)
-            return child->find(rest);
+    // Whole-path stat match (also covers stat names containing dots).
+    for (const auto &stat : statsInOrder_)
+        if (stat->name() == dotted_path)
+            return stat.get();
     return nullptr;
 }
 

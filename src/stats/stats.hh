@@ -11,8 +11,12 @@
  *  - Formula:      a value computed from other stats at dump time.
  *  - DistributionStat: bucketed distribution over uint64 samples.
  *
- * All statistics are dumped by StatGroup::dump() in registration order,
- * producing a stable, diffable text report.
+ * Output goes through the StatVisitor interface: a visitor walks the
+ * tree in registration order and receives one typed callback per
+ * stat, which is how the text, JSON and CSV writers all render the
+ * same tree (see TextStatWriter here and obs/stat_writers.hh).
+ * StatGroup::dump() remains as the canonical text report, implemented
+ * on top of TextStatWriter.
  */
 
 #ifndef RRM_STATS_STATS_HH
@@ -31,6 +35,37 @@
 namespace rrm::stats
 {
 
+class Scalar;
+class VectorStat;
+class Formula;
+class DistributionStat;
+
+/**
+ * Typed walk over a statistics tree. Paths are full dotted names
+ * including every enclosing group (e.g. "system.rrm.promotions").
+ * Callbacks run in registration order, group-by-group (a group's own
+ * stats first, then its children), which is deterministic for a given
+ * construction sequence.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void visitScalar(const std::string &path,
+                             const Scalar &stat) = 0;
+    virtual void visitVector(const std::string &path,
+                             const VectorStat &stat) = 0;
+    virtual void visitFormula(const std::string &path,
+                              const Formula &stat) = 0;
+    virtual void visitDistribution(const std::string &path,
+                                   const DistributionStat &stat) = 0;
+
+    /** Group boundaries (path includes the group itself). */
+    virtual void enterGroup(const std::string &path) { (void)path; }
+    virtual void leaveGroup(const std::string &path) { (void)path; }
+};
+
 /** Base class for all statistics. */
 class StatBase
 {
@@ -46,9 +81,9 @@ class StatBase
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
-    /** Write this stat's line(s), prefixed with the full dotted path. */
-    virtual void dump(std::ostream &os,
-                      const std::string &prefix) const = 0;
+    /** Dispatch to the matching StatVisitor callback. */
+    virtual void accept(StatVisitor &visitor,
+                        const std::string &path) const = 0;
 
     /** Reset to initial value. */
     virtual void reset() = 0;
@@ -81,7 +116,12 @@ class Scalar : public StatBase
     void set(double v) { value_ = v; }
     double value() const { return value_; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void
+    accept(StatVisitor &visitor, const std::string &path) const override
+    {
+        visitor.visitScalar(path, *this);
+    }
+
     void reset() override { value_ = 0.0; }
 
   private:
@@ -116,7 +156,18 @@ class VectorStat : public StatBase
     double total() const;
     std::size_t size() const { return values_.size(); }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    const std::string &
+    binName(std::size_t bin) const
+    {
+        return binNames_.at(bin);
+    }
+
+    void
+    accept(StatVisitor &visitor, const std::string &path) const override
+    {
+        visitor.visitVector(path, *this);
+    }
+
     void reset() override;
 
   private:
@@ -124,7 +175,18 @@ class VectorStat : public StatBase
     std::vector<double> values_;
 };
 
-/** A derived value evaluated lazily at dump time. */
+/**
+ * A derived value evaluated lazily at dump time.
+ *
+ * Contract notes (relied on by the exporters, tested in
+ * test_stats.cc):
+ *  - reset() is deliberately a no-op: a formula holds no state of its
+ *    own; resetting the operand stats it reads is what changes its
+ *    value. After StatGroup::reset() a formula therefore re-evaluates
+ *    against the freshly reset operands.
+ *  - value() with a null function returns 0.0 rather than crashing,
+ *    so a default-constructed / moved-from formula stays dumpable.
+ */
 class Formula : public StatBase
 {
   public:
@@ -136,7 +198,12 @@ class Formula : public StatBase
 
     double value() const { return fn_ ? fn_() : 0.0; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void
+    accept(StatVisitor &visitor, const std::string &path) const override
+    {
+        visitor.visitFormula(path, *this);
+    }
+
     void reset() override {}
 
   private:
@@ -162,7 +229,12 @@ class DistributionStat : public StatBase
     const BoundedHistogram &histogram() const { return hist_; }
     const SampleStats &samples() const { return samples_; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void
+    accept(StatVisitor &visitor, const std::string &path) const override
+    {
+        visitor.visitDistribution(path, *this);
+    }
+
     void reset() override
     {
         hist_.reset();
@@ -202,6 +274,14 @@ class StatGroup
     /** Create (and own) a nested child group. */
     StatGroup &addChild(const std::string &name);
 
+    /**
+     * Walk this group and all children with the given visitor, in
+     * registration order (own stats first, then children). `prefix`
+     * is prepended to every path (empty = paths start at this group).
+     */
+    void visit(StatVisitor &visitor,
+               const std::string &prefix = "") const;
+
     /** Dump this group and all children, prefixing names with path. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
@@ -211,6 +291,15 @@ class StatGroup
     /**
      * Find a stat by its dotted path relative to this group; returns
      * nullptr if not present. Intended for tests and report writers.
+     *
+     * Resolution rules (ordering-safe — see test_stats.cc):
+     *  - a path segment descends into *every* child carrying that
+     *    name, in registration order, until one resolves (duplicate
+     *    child names — e.g. a group name registered twice — no longer
+     *    shadow later-registered children);
+     *  - if no child resolves the path, a stat in this group whose
+     *    name equals the entire remaining path matches, so stat names
+     *    containing dots remain reachable.
      */
     const StatBase *find(const std::string &dotted_path) const;
 
@@ -221,6 +310,30 @@ class StatGroup
     std::string name_;
     std::vector<std::unique_ptr<StatBase>> statsInOrder_;
     std::vector<std::unique_ptr<StatGroup>> children_;
+};
+
+/**
+ * The canonical text renderer: fixed-width gem5-style lines
+ * ("path  value  # desc"), vectors expanded per bin plus ::total,
+ * distributions expanded into ::samples / ::mean / buckets. This is
+ * exactly what StatGroup::dump() emits.
+ */
+class TextStatWriter : public StatVisitor
+{
+  public:
+    explicit TextStatWriter(std::ostream &os) : os_(os) {}
+
+    void visitScalar(const std::string &path,
+                     const Scalar &stat) override;
+    void visitVector(const std::string &path,
+                     const VectorStat &stat) override;
+    void visitFormula(const std::string &path,
+                      const Formula &stat) override;
+    void visitDistribution(const std::string &path,
+                           const DistributionStat &stat) override;
+
+  private:
+    std::ostream &os_;
 };
 
 } // namespace rrm::stats

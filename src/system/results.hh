@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/json.hh"
+
 namespace rrm::sys
 {
 
@@ -94,6 +96,15 @@ struct SimResults
                            static_cast<double>(total)
                      : 0.0;
     }
+
+    /**
+     * Emit this record as one JSON object at the writer's current
+     * value slot (every field above plus the derived totals).
+     */
+    void toJson(obs::JsonWriter &json) const;
+
+    /** Standalone pretty-printed JSON document of this record. */
+    std::string toJsonString() const;
 };
 
 } // namespace rrm::sys

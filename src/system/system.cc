@@ -5,8 +5,12 @@
 
 #include "system.hh"
 
+#include <fstream>
+
 #include "common/auditable.hh"
 #include "common/logging.hh"
+#include "obs/run_record.hh"
+#include "obs/stat_writers.hh"
 #include "stats/check_stats.hh"
 
 namespace rrm::sys
@@ -115,9 +119,81 @@ System::System(SystemConfig config)
     stats::registerCheckViolationStats(statRoot_);
 
     buildCores();
+    setupObservability();
 }
 
 System::~System() = default;
+
+void
+System::setupObservability()
+{
+    const obs::ObsOptions &o = config_.obs;
+
+    if (!o.traceFile.empty()) {
+        traceSink_ = std::make_unique<obs::TraceSink>(
+            o.traceRingCapacity, o.traceCategories);
+        traceSink_->setWriter(
+            obs::openTraceFile(o.traceFile, o.traceText));
+        controller_->setTraceSink(traceSink_.get());
+        if (rrm_)
+            rrm_->setTraceSink(traceSink_.get());
+    }
+
+    if (o.profiling) {
+        selfProfiler_ = std::make_unique<obs::Profiler>();
+        if (rrm_)
+            rrm_->setProfiler(selfProfiler_.get());
+    }
+
+    const bool want_sampling = o.sampleIntervalSeconds != 0.0 ||
+                               !o.sampleCsvFile.empty() ||
+                               !o.sampleJsonlFile.empty();
+    if (!want_sampling)
+        return;
+
+    // Negative (and the 0-but-file-requested case) selects the RRM
+    // decay-tick cadence, so every sample row observes exactly one
+    // settled decay epoch; static schemes fall back to the paper's
+    // native 0.125 s tick compressed by the time scale.
+    Tick interval;
+    if (o.sampleIntervalSeconds > 0.0) {
+        interval = secondsToTicks(o.sampleIntervalSeconds);
+    } else if (rrm_) {
+        interval = config_.rrm.decayTickInterval();
+    } else {
+        interval = secondsToTicks(0.125 / config_.timeScale);
+    }
+    sampler_ = std::make_unique<obs::Sampler>(queue_, interval);
+    sampler_->setTraceSink(traceSink_.get());
+
+    sampler_->addColumn("hotEntries", [this] {
+        return rrm_ ? static_cast<double>(rrm_->hotEntryCount()) : 0.0;
+    });
+    sampler_->addColumn("validEntries", [this] {
+        return rrm_ ? static_cast<double>(rrm_->validEntryCount()) : 0.0;
+    });
+    sampler_->addColumn("shortRetentionBlocks", [this] {
+        return rrm_
+                   ? static_cast<double>(rrm_->shortRetentionBlockCount())
+                   : 0.0;
+    });
+    sampler_->addStat(statRoot_, "rrm.fastWrites");
+    sampler_->addStat(statRoot_, "rrm.slowWrites");
+    sampler_->addStat(statRoot_, "rrm.fastRefreshes");
+    sampler_->addStat(statRoot_, "rrm.slowRefreshes");
+    sampler_->addColumn("readQueue", [this] {
+        return static_cast<double>(controller_->totalReadQueue());
+    });
+    sampler_->addColumn("writeQueue", [this] {
+        return static_cast<double>(controller_->totalWriteQueue());
+    });
+    sampler_->addColumn("refreshQueue", [this] {
+        return static_cast<double>(controller_->totalRefreshQueue());
+    });
+    sampler_->addColumn("writebackBuffer", [this] {
+        return static_cast<double>(writebackBuffer_.size());
+    });
+}
 
 void
 System::buildCores()
@@ -332,6 +408,7 @@ System::resetMeasurement()
 std::uint64_t
 System::runAudits()
 {
+    RRM_PROFILE(selfProfiler_.get(), "audit");
     if (statAuditRounds_)
         ++*statAuditRounds_;
     std::uint64_t violations = 0;
@@ -360,6 +437,9 @@ System::runSlice(Tick until)
 SimResults
 System::run()
 {
+    obs::Profiler *prof = selfProfiler_.get();
+    RRM_PROFILE(prof, "system.run");
+
     const Tick end = secondsToTicks(config_.windowSeconds);
     const Tick warmup_end =
         secondsToTicks(config_.windowSeconds * config_.warmupFraction);
@@ -368,13 +448,137 @@ System::run()
         core->start();
     if (rrm_)
         rrm_->start();
+    if (sampler_)
+        sampler_->start();
 
-    runSlice(warmup_end);
+    {
+        RRM_PROFILE(prof, "warmup");
+        runSlice(warmup_end);
+    }
     resetMeasurement();
     const Tick measure_start = queue_.now();
 
-    runSlice(end);
-    return collectResults(measure_start, end);
+    {
+        RRM_PROFILE(prof, "measure");
+        runSlice(end);
+    }
+
+    SimResults results;
+    {
+        RRM_PROFILE(prof, "collect");
+        results = collectResults(measure_start, end);
+    }
+    writeObsOutputs(results);
+    return results;
+}
+
+void
+System::writeObsOutputs(const SimResults &r)
+{
+    const obs::ObsOptions &o = config_.obs;
+    const auto open = [](const std::string &path) {
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open observability output file ", path);
+        return os;
+    };
+
+    if (sampler_) {
+        sampler_->stop();
+        if (!o.sampleCsvFile.empty()) {
+            auto os = open(o.sampleCsvFile);
+            sampler_->writeCsv(os);
+        }
+        if (!o.sampleJsonlFile.empty()) {
+            auto os = open(o.sampleJsonlFile);
+            sampler_->writeJsonl(os);
+        }
+    }
+    if (!o.runRecordFile.empty()) {
+        auto os = open(o.runRecordFile);
+        writeRunRecord(os, r);
+    }
+    if (traceSink_)
+        traceSink_->flush();
+}
+
+void
+System::writeConfigJson(obs::JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("workload", config_.workload.name);
+    json.key("perCore");
+    json.beginArray();
+    for (unsigned c = 0; c < trace::workloadCores; ++c) {
+        const auto &profile =
+            config_.customProfiles.empty()
+                ? trace::benchmarkProfile(config_.workload.perCore[c])
+                : *config_.customProfiles[c];
+        json.value(profile.name);
+    }
+    json.endArray();
+    json.field("scheme", config_.scheme.name());
+    json.field("timeScale", config_.timeScale);
+    json.field("windowSeconds", config_.windowSeconds);
+    json.field("warmupFraction", config_.warmupFraction);
+    json.field("seed", config_.seed);
+    json.field("refreshTiming",
+               static_cast<int>(config_.refreshTiming));
+    json.field("memoryBytes", config_.memory.memoryBytes);
+    json.field("auditEveryEvents", config_.auditEveryEvents);
+    if (config_.scheme.kind == SchemeKind::Rrm) {
+        json.key("rrm");
+        json.beginObject();
+        json.field("regionBytes", config_.rrm.regionBytes);
+        json.field("blockBytes", config_.rrm.blockBytes);
+        json.field("numSets", config_.rrm.numSets);
+        json.field("assoc", config_.rrm.assoc);
+        json.field("hotThreshold", config_.rrm.hotThreshold);
+        json.field("dirtyWriteFilter", config_.rrm.dirtyWriteFilter);
+        json.field("fastSets",
+                   pcm::setIterations(config_.rrm.fastMode));
+        json.field("slowSets",
+                   pcm::setIterations(config_.rrm.slowMode));
+        json.field("shortRetentionIntervalTicks",
+                   config_.rrm.shortRetentionInterval());
+        json.field("decayTickIntervalTicks",
+                   config_.rrm.decayTickInterval());
+        json.field("storageBytes", config_.rrm.storageBytes());
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+System::writeRunRecord(std::ostream &os, const SimResults &r) const
+{
+    obs::JsonWriter json(os, /*pretty=*/true);
+    json.beginObject();
+    json.field("schemaVersion", obs::runRecordSchemaVersion);
+    json.key("metadata");
+    obs::writeRunMetadata(json, obs::currentRunMetadata());
+    json.key("config");
+    writeConfigJson(json);
+    json.key("results");
+    r.toJson(json);
+    json.key("stats");
+    {
+        obs::JsonStatWriter stats_writer(json);
+        statRoot_.visit(stats_writer);
+    }
+    if (traceSink_) {
+        json.key("trace");
+        json.beginObject();
+        json.field("recorded", traceSink_->recorded());
+        json.field("dropped", traceSink_->dropped());
+        json.endObject();
+    }
+    if (selfProfiler_) {
+        json.key("profile");
+        selfProfiler_->writeJson(json);
+    }
+    json.endObject();
+    os << '\n';
 }
 
 SimResults

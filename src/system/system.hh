@@ -15,6 +15,9 @@
 
 #include "cpu/core_model.hh"
 #include "memctrl/controller.hh"
+#include "obs/obs_config.hh"
+#include "obs/profiler.hh"
+#include "obs/sampler.hh"
 #include "pcm/energy_model.hh"
 #include "pcm/lifetime_model.hh"
 #include "pcm/wear_tracker.hh"
@@ -83,6 +86,12 @@ struct SystemConfig
     bool profileRegionWrites = false;
 
     /**
+     * Observability outputs (tracing, sampling, run record, wall-clock
+     * self-profiling). All off by default; see obs/obs_config.hh.
+     */
+    obs::ObsOptions obs;
+
+    /**
      * Deep-audit cadence: after every `auditEveryEvents` executed
      * events, run the audit() of every Auditable component (event
      * queue, cache hierarchy, memory controller, RRM, wear tracker).
@@ -141,6 +150,23 @@ class System : public cpu::CorePort
     const stats::StatGroup &statRoot() const { return statRoot_; }
     EventQueue &eventQueue() { return queue_; }
 
+    /** @{ Observability objects (null unless enabled in config.obs). */
+    obs::TraceSink *traceSink() { return traceSink_.get(); }
+    const obs::Sampler *sampler() const { return sampler_.get(); }
+    const obs::Profiler *selfProfiler() const
+    {
+        return selfProfiler_.get();
+    }
+    /** @} */
+
+    /**
+     * Write the full machine-readable record of a finished run:
+     * schema version, build metadata, configuration, derived results,
+     * the entire stats tree, and (when profiling) the wall-clock
+     * profile. Called automatically for config.obs.runRecordFile.
+     */
+    void writeRunRecord(std::ostream &os, const SimResults &r) const;
+
     // ---- CorePort ----
     bool requestFill(unsigned core, Addr line, bool is_write,
                      Tick when) override;
@@ -150,6 +176,9 @@ class System : public cpu::CorePort
 
   private:
     void buildCores();
+    void setupObservability();
+    void writeObsOutputs(const SimResults &r);
+    void writeConfigJson(obs::JsonWriter &json) const;
     void runSlice(Tick until);
     void tryEnqueueRead(unsigned core, Addr line);
     void onReadComplete(unsigned core, Addr line);
@@ -174,6 +203,11 @@ class System : public cpu::CorePort
     pcm::WearTracker wear_;
     pcm::EnergyModel energy_;
     std::unique_ptr<RegionWriteProfiler> profiler_;
+
+    // Observability (see config_.obs; all optional).
+    std::unique_ptr<obs::TraceSink> traceSink_;
+    std::unique_ptr<obs::Sampler> sampler_;
+    std::unique_ptr<obs::Profiler> selfProfiler_;
 
     // Global fill (LLC MSHR) accounting.
     unsigned outstandingFills_ = 0;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Profiler nesting, aggregation, and JSON export — driven through the
+ * raw enter/leave API so durations are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+
+using namespace rrm::obs;
+
+TEST(Profiler, NestsOpenScopesIntoDottedPaths)
+{
+    Profiler p;
+    p.enter("run");
+    p.enter("warmup");
+    p.leave(30);
+    p.enter("measure");
+    p.enter("audit");
+    p.leave(5);
+    p.leave(60);
+    p.leave(100);
+
+    const auto &nodes = p.nodes();
+    ASSERT_EQ(nodes.size(), 4u);
+    EXPECT_EQ(nodes.at("run").totalNs, 100u);
+    EXPECT_EQ(nodes.at("run.warmup").totalNs, 30u);
+    EXPECT_EQ(nodes.at("run.measure").totalNs, 60u);
+    EXPECT_EQ(nodes.at("run.measure.audit").totalNs, 5u);
+    EXPECT_EQ(p.depth(), 0u);
+}
+
+TEST(Profiler, RepeatedScopesAggregateCallsAndTime)
+{
+    Profiler p;
+    for (int i = 0; i < 3; ++i) {
+        p.enter("tick");
+        p.leave(10);
+    }
+    EXPECT_EQ(p.nodes().at("tick").calls, 3u);
+    EXPECT_EQ(p.nodes().at("tick").totalNs, 30u);
+}
+
+TEST(Profiler, ExclusiveTimeSubtractsDirectChildrenOnly)
+{
+    Profiler p;
+    p.enter("a");
+    p.enter("b");
+    p.enter("c");
+    p.leave(10); // a.b.c
+    p.leave(40); // a.b
+    p.leave(100); // a
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    p.writeJson(json);
+
+    // a excl = 100-40 (only a.b is a direct child, not a.b.c);
+    // a.b excl = 40-10; a.b.c excl = 10.
+    EXPECT_EQ(os.str(),
+              "{\"a\":{\"calls\":1,\"totalNs\":100,\"exclusiveNs\":60},"
+              "\"a.b\":{\"calls\":1,\"totalNs\":40,\"exclusiveNs\":30},"
+              "\"a.b.c\":{\"calls\":1,\"totalNs\":10,"
+              "\"exclusiveNs\":10}}");
+}
+
+TEST(Profiler, SiblingsWithSharedPrefixNamesStayDistinct)
+{
+    Profiler p;
+    p.enter("rrm");
+    p.leave(10);
+    p.enter("rrm.decay"); // dotted name, NOT a child of "rrm"
+    p.leave(20);
+
+    ASSERT_EQ(p.nodes().size(), 2u);
+    EXPECT_EQ(p.nodes().at("rrm").totalNs, 10u);
+    EXPECT_EQ(p.nodes().at("rrm.decay").totalNs, 20u);
+}
+
+TEST(Profiler, ResetDropsAggregatedData)
+{
+    Profiler p;
+    p.enter("x");
+    p.leave(1);
+    p.reset();
+    EXPECT_TRUE(p.nodes().empty());
+}
+
+TEST(Profiler, ReportListsEveryNode)
+{
+    Profiler p;
+    p.enter("run");
+    p.enter("step");
+    p.leave(1000000); // 1 ms
+    p.leave(3000000); // 3 ms
+
+    std::ostringstream os;
+    p.report(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("profile.run"), std::string::npos);
+    EXPECT_NE(out.find("profile.run.step"), std::string::npos);
+}
+
+TEST(ScopedTimer, NullProfilerIsANoOp)
+{
+    ScopedTimer t(nullptr, "nothing"); // must not crash
+}
+
+TEST(ScopedTimer, RecordsARealDuration)
+{
+    Profiler p;
+    {
+        RRM_PROFILE(&p, "scope");
+        // Two macros on different lines coexist in one block.
+        RRM_PROFILE(&p, "inner");
+    }
+    ASSERT_EQ(p.nodes().count("scope"), 1u);
+    ASSERT_EQ(p.nodes().count("scope.inner"), 1u);
+    EXPECT_EQ(p.depth(), 0u);
+}

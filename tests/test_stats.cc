@@ -148,5 +148,48 @@ TEST(StatGroup, FormulaSurvivesReset)
     EXPECT_DOUBLE_EQ(f.value(), 2.0);
 }
 
+TEST(Formula, ResetIsASilentNoOp)
+{
+    Formula f("f", "constant", [] { return 5.0; });
+    f.reset();
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(Formula, NullFunctionValueIsZero)
+{
+    Formula f("f", "empty", Formula::Fn{});
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+TEST(StatGroup, FindResolvesLaterDuplicateNamedChildren)
+{
+    // Two same-named children (e.g. per-channel groups registered
+    // under one name): find() must try each in registration order,
+    // so a stat that only exists in the second still resolves.
+    StatGroup root("sys");
+    StatGroup &first = root.addChild("chan");
+    StatGroup &second = root.addChild("chan");
+    first.addScalar("reads", "r") += 1;
+    Scalar &writes = second.addScalar("writes", "w");
+    writes += 7;
+
+    const auto *hit =
+        dynamic_cast<const Scalar *>(root.find("chan.writes"));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ(hit->value(), 7.0);
+    // And the first child still wins for names both define.
+    EXPECT_EQ(root.find("chan.reads"), first.find("reads"));
+}
+
+TEST(StatGroup, FindFallsBackToWholePathStatNames)
+{
+    // A stat whose own name contains dots is matched as a whole
+    // path when no child chain consumes the prefix.
+    StatGroup root("sys");
+    Scalar &odd = root.addScalar("mem.reads", "dotted name");
+    odd += 3;
+    EXPECT_EQ(root.find("mem.reads"), &odd);
+}
+
 } // namespace
 } // namespace rrm::stats

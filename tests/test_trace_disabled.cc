@@ -1,0 +1,45 @@
+/**
+ * @file
+ * This translation unit is compiled with -DRRM_TRACE_DISABLED (see
+ * tests/CMakeLists.txt): RRM_TRACE must expand to nothing — no sink
+ * access, no field evaluation — while the surrounding code still
+ * compiles unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace rrm::obs;
+
+#ifndef RRM_TRACE_DISABLED
+#error "this test must be compiled with RRM_TRACE_DISABLED"
+#endif
+
+TEST(TraceDisabled, MacroCompilesOutEntirely)
+{
+    TraceSink sink(8);
+    int evaluations = 0;
+    const auto costly = [&] {
+        ++evaluations;
+        return 1.0;
+    };
+
+    RRM_TRACE(&sink, 1, TraceCategory::Refresh, "r",
+              RRM_TF("v", costly()));
+    RRM_TRACE(&sink, 2, TraceCategory::Queue, "q", RRM_TF("a", 1),
+              RRM_TF("b", 2), RRM_TF("c", 3), RRM_TF("d", 4));
+
+    (void)costly; // the compiled-out macro references nothing
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(sink.recorded(), 0u);
+    EXPECT_EQ(sink.bufferedCount(), 0u);
+}
+
+TEST(TraceDisabled, DirectSinkUseStillWorks)
+{
+    // Only the macro is compiled out; the sink API itself remains.
+    TraceSink sink(8);
+    sink.record(makeTraceEvent(1, TraceCategory::Refresh, "r"));
+    EXPECT_EQ(sink.recorded(), 1u);
+}
