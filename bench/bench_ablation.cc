@@ -11,6 +11,8 @@
  *     3): RateCorrected vs Detailed vs CountOnly.
  *
  * Each ablation runs a streaming-heavy and a reuse-heavy workload.
+ * All variants go into one RunPlan so --jobs parallelises across the
+ * whole study; run ids encode the varied knob.
  */
 
 #include <cstdio>
@@ -27,6 +29,55 @@ main(int argc, char **argv)
         opts.workloads = {"libquantum", "GemsFDTD"};
     const auto workloads = opts.selectedWorkloads();
 
+    const auto s7 = sys::Scheme::staticScheme(pcm::WriteMode::Sets7);
+    const auto rrm_scheme = sys::Scheme::rrmScheme();
+    const std::pair<sys::RefreshTimingMode, const char *> modes[] = {
+        {sys::RefreshTimingMode::RateCorrected, "rate-corr"},
+        {sys::RefreshTimingMode::Detailed, "detailed"},
+        {sys::RefreshTimingMode::CountOnly, "count-only"},
+    };
+
+    // ---- One plan covering all three ablations ----
+    run::RunPlan plan;
+    for (const auto &w : workloads) {
+        for (bool filter : {true, false}) {
+            const std::string id = w.name + ".rrm-filter-" +
+                                   (filter ? "on" : "off");
+            plan.add(bench::makeConfig(
+                         w, rrm_scheme, opts,
+                         [filter](sys::SystemConfig &cfg) {
+                             cfg.rrm.dirtyWriteFilter = filter;
+                         },
+                         id),
+                     id);
+        }
+        for (const auto &scheme : {s7, rrm_scheme}) {
+            for (bool pausing : {true, false}) {
+                const std::string id = w.name + "." + scheme.name() +
+                                       ".pause-" +
+                                       (pausing ? "on" : "off");
+                plan.add(bench::makeConfig(
+                             w, scheme, opts,
+                             [pausing](sys::SystemConfig &cfg) {
+                                 cfg.memory.writePausing = pausing;
+                             },
+                             id),
+                         id);
+            }
+        }
+        for (const auto &[mode, label] : modes) {
+            const std::string id = w.name + ".rrm-rt-" + label;
+            plan.add(bench::makeConfig(
+                         w, rrm_scheme, opts,
+                         [mode = mode](sys::SystemConfig &cfg) {
+                             cfg.refreshTiming = mode;
+                         },
+                         id),
+                     id);
+        }
+    }
+    const run::RunReport report = bench::runPlan(plan, opts);
+
     // ---- 1. dirty-write filter ----
     bench::printTitle(
         "Ablation 1: RRM dirty-write streaming filter (IV-D)");
@@ -35,11 +86,11 @@ main(int argc, char **argv)
                 "rrm rf (wr/s)");
     for (const auto &w : workloads) {
         for (bool filter : {true, false}) {
-            const auto r = bench::runOne(
-                w, sys::Scheme::rrmScheme(), opts,
-                [&](sys::SystemConfig &cfg) {
-                    cfg.rrm.dirtyWriteFilter = filter;
-                });
+            const auto &r =
+                report
+                    .find(w.name + ".rrm-filter-" +
+                          (filter ? "on" : "off"))
+                    ->results;
             std::printf("%-12s %-10s %10.3f %11.1f%% %12.3f %14.4g\n",
                         filter ? w.name.c_str() : "",
                         filter ? "on" : "off", r.aggregateIpc,
@@ -56,14 +107,13 @@ main(int argc, char **argv)
     std::printf("%-12s %-14s %-10s %10s\n", "workload", "scheme",
                 "pausing", "IPC");
     for (const auto &w : workloads) {
-        for (const auto &scheme :
-             {sys::Scheme::staticScheme(pcm::WriteMode::Sets7),
-              sys::Scheme::rrmScheme()}) {
+        for (const auto &scheme : {s7, rrm_scheme}) {
             for (bool pausing : {true, false}) {
-                const auto r = bench::runOne(
-                    w, scheme, opts, [&](sys::SystemConfig &cfg) {
-                        cfg.memory.writePausing = pausing;
-                    });
+                const auto &r =
+                    report
+                        .find(w.name + "." + scheme.name() +
+                              ".pause-" + (pausing ? "on" : "off"))
+                        ->results;
                 std::printf("%-12s %-14s %-10s %10.3f\n",
                             w.name.c_str(), scheme.name().c_str(),
                             pausing ? "on" : "off", r.aggregateIpc);
@@ -79,18 +129,10 @@ main(int argc, char **argv)
         "Ablation 3: RRM refresh timing under time scaling");
     std::printf("%-12s %-14s %10s %12s\n", "workload", "mode", "IPC",
                 "life (yr)");
-    const std::pair<sys::RefreshTimingMode, const char *> modes[] = {
-        {sys::RefreshTimingMode::RateCorrected, "rate-corr"},
-        {sys::RefreshTimingMode::Detailed, "detailed"},
-        {sys::RefreshTimingMode::CountOnly, "count-only"},
-    };
     for (const auto &w : workloads) {
         for (const auto &[mode, label] : modes) {
-            const auto r = bench::runOne(
-                w, sys::Scheme::rrmScheme(), opts,
-                [&](sys::SystemConfig &cfg) {
-                    cfg.refreshTiming = mode;
-                });
+            const auto &r =
+                report.find(w.name + ".rrm-rt-" + label)->results;
             std::printf("%-12s %-14s %10.3f %12.3f\n", w.name.c_str(),
                         label, r.aggregateIpc, r.lifetimeYears);
         }

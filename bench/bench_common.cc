@@ -18,52 +18,133 @@
 namespace rrm::bench
 {
 
+namespace
+{
+
+/** One entry of the declarative flag table. */
+struct BenchFlag
+{
+    const char *name;      ///< including the leading dashes
+    const char *valueName; ///< metavar of the argument; null = none
+    const char *doc;       ///< one-line help text
+    /** Apply the flag; `value` is empty for argument-less flags. */
+    std::function<void(BenchOptions &, const std::string &value)> apply;
+};
+
+/**
+ * The flag table: name, argument kind, doc string, and effect, in
+ * --help order. Adding a runner/bench flag is one entry here.
+ */
+const std::vector<BenchFlag> &
+benchFlagTable()
+{
+    static const std::vector<BenchFlag> table = {
+        {"--quick", nullptr, "8 ms window (smoke-test the bench)",
+         [](BenchOptions &o, const std::string &) {
+             o.windowSeconds = 0.008;
+         }},
+        {"--window-ms", "F", "window length in milliseconds",
+         [](BenchOptions &o, const std::string &v) {
+             o.windowSeconds = std::atof(v.c_str()) / 1e3;
+         }},
+        {"--scale", "F", "retention time-scale factor",
+         [](BenchOptions &o, const std::string &v) {
+             o.timeScale = std::atof(v.c_str());
+         }},
+        {"--seed", "N", "base RNG seed of every run",
+         [](BenchOptions &o, const std::string &v) {
+             o.seed = std::strtoull(v.c_str(), nullptr, 10);
+         }},
+        {"--workloads", "a,b,c", "subset of Table VII names",
+         [](BenchOptions &o, const std::string &v) {
+             std::stringstream ss(v);
+             std::string name;
+             while (std::getline(ss, name, ','))
+                 o.workloads.push_back(name);
+         }},
+        {"--jobs", "N",
+         "worker threads (0 = hardware concurrency, 1 = serial)",
+         [](BenchOptions &o, const std::string &v) {
+             o.jobs = static_cast<unsigned>(
+                 std::strtoul(v.c_str(), nullptr, 10));
+         }},
+        {"--fail-fast", nullptr,
+         "cancel queued runs after the first failure",
+         [](BenchOptions &o, const std::string &) {
+             o.failFast = true;
+         }},
+        {"--verbose", nullptr, "per-run progress lines on stderr",
+         [](BenchOptions &o, const std::string &) {
+             o.verbose = true;
+         }},
+        {"--stats-json", "STEM",
+         "per-run run-record JSON files STEM.<run>.json",
+         [](BenchOptions &o, const std::string &v) {
+             o.statsJsonStem = v;
+         }},
+        {"--sample-csv", "STEM",
+         "per-run sampled time series STEM.<run>.csv",
+         [](BenchOptions &o, const std::string &v) {
+             o.sampleCsvStem = v;
+         }},
+        {"--trace-jsonl", "STEM",
+         "per-run JSONL trace files STEM.<run>.jsonl",
+         [](BenchOptions &o, const std::string &v) {
+             o.traceJsonlStem = v;
+         }},
+        {"--profile", nullptr,
+         "wall-clock self-profiling in run records",
+         [](BenchOptions &o, const std::string &) {
+             o.profile = true;
+         }},
+        {"--json-out", "F", "bench-report path (benches that emit one)",
+         [](BenchOptions &o, const std::string &v) { o.jsonOut = v; }},
+    };
+    return table;
+}
+
+/** Print the --help text generated from the flag table. */
+void
+printFlagHelp()
+{
+    std::printf("flags:\n");
+    for (const BenchFlag &flag : benchFlagTable()) {
+        std::string usage = flag.name;
+        if (flag.valueName)
+            usage += std::string(" ") + flag.valueName;
+        std::printf("  %-22s %s\n", usage.c_str(), flag.doc);
+    }
+    std::printf("  %-22s %s\n", "--help, -h", "this text");
+}
+
+} // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next_value = [&]() -> std::string {
+        if (arg == "--help" || arg == "-h") {
+            printFlagHelp();
+            std::exit(0);
+        }
+        const BenchFlag *match = nullptr;
+        for (const BenchFlag &flag : benchFlagTable()) {
+            if (arg == flag.name) {
+                match = &flag;
+                break;
+            }
+        }
+        if (!match)
+            fatal("unknown flag '", arg, "' (see --help)");
+        std::string value;
+        if (match->valueName) {
             if (i + 1 >= argc)
                 fatal("flag ", arg, " needs a value");
-            return argv[++i];
-        };
-        if (arg == "--quick") {
-            opts.windowSeconds = 0.008;
-        } else if (arg == "--window-ms") {
-            opts.windowSeconds = std::atof(next_value().c_str()) / 1e3;
-        } else if (arg == "--scale") {
-            opts.timeScale = std::atof(next_value().c_str());
-        } else if (arg == "--seed") {
-            opts.seed = std::strtoull(next_value().c_str(), nullptr, 10);
-        } else if (arg == "--workloads") {
-            std::stringstream ss(next_value());
-            std::string name;
-            while (std::getline(ss, name, ','))
-                opts.workloads.push_back(name);
-        } else if (arg == "--verbose") {
-            opts.verbose = true;
-        } else if (arg == "--stats-json") {
-            opts.statsJsonStem = next_value();
-        } else if (arg == "--sample-csv") {
-            opts.sampleCsvStem = next_value();
-        } else if (arg == "--trace-jsonl") {
-            opts.traceJsonlStem = next_value();
-        } else if (arg == "--profile") {
-            opts.profile = true;
-        } else if (arg == "--json-out") {
-            opts.jsonOut = next_value();
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "flags: --quick | --window-ms F | --scale F | "
-                "--seed N | --workloads a,b,c | --verbose | "
-                "--stats-json STEM | --sample-csv STEM | "
-                "--trace-jsonl STEM | --profile | --json-out F\n");
-            std::exit(0);
-        } else {
-            fatal("unknown flag '", arg, "'");
+            value = argv[++i];
         }
+        match->apply(opts, value);
     }
     return opts;
 }
@@ -79,9 +160,20 @@ BenchOptions::selectedWorkloads() const
     return out;
 }
 
+run::RunnerOptions
+BenchOptions::runnerOptions() const
+{
+    run::RunnerOptions ro;
+    ro.jobs = jobs;
+    ro.failFast = failFast;
+    ro.verbose = verbose;
+    return ro;
+}
+
 sys::SystemConfig
 makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
-           const BenchOptions &opts, const ConfigHook &hook)
+           const BenchOptions &opts, const ConfigHook &hook,
+           const std::string &tag)
 {
     sys::SystemConfig cfg;
     cfg.workload = workload;
@@ -91,7 +183,8 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
     cfg.warmupFraction = opts.warmupFraction;
     cfg.seed = opts.seed;
 
-    const std::string run_tag = workload.name + "." + scheme.name();
+    const std::string run_tag =
+        tag.empty() ? workload.name + "." + scheme.name() : tag;
     if (!opts.statsJsonStem.empty())
         cfg.obs.runRecordFile = opts.statsJsonStem + "." + run_tag + ".json";
     if (!opts.sampleCsvStem.empty())
@@ -105,16 +198,40 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
     return cfg;
 }
 
-sys::SimResults
-runOne(const trace::Workload &workload, const sys::Scheme &scheme,
-       const BenchOptions &opts, const ConfigHook &hook)
+run::RunPlan
+buildMatrixPlan(const std::vector<trace::Workload> &workloads,
+                const std::vector<sys::Scheme> &schemes,
+                const BenchOptions &opts, const ConfigHook &hook)
 {
-    if (opts.verbose) {
-        std::fprintf(stderr, "  running %-12s %s ...\n",
-                     workload.name.c_str(), scheme.name().c_str());
-    }
-    sys::System system(makeConfig(workload, scheme, opts, hook));
-    return system.run();
+    return run::RunPlan::matrix(
+        workloads, schemes,
+        [&](const trace::Workload &w, const sys::Scheme &s) {
+            return makeConfig(w, s, opts, hook);
+        });
+}
+
+run::RunReport
+runPlan(const run::RunPlan &plan, const BenchOptions &opts)
+{
+    const run::Runner runner(opts.runnerOptions());
+    const run::RunReport report = runner.execute(plan);
+
+    const std::size_t slowest = report.slowestRunIndex();
+    std::fprintf(stderr,
+                 "plan: %zu/%zu runs ok on %u worker(s) in %.2f s"
+                 " (slowest %s: %.2f s)\n",
+                 report.completedCount(), report.runs.size(),
+                 report.jobs, report.wallSeconds,
+                 slowest == std::string::npos
+                     ? "n/a"
+                     : report.runs[slowest].id.c_str(),
+                 slowest == std::string::npos
+                     ? 0.0
+                     : report.runs[slowest].wallSeconds);
+
+    if (!report.allOk())
+        fatal("run plan failed: ", report.failureSummary());
+    return report;
 }
 
 std::vector<std::vector<sys::SimResults>>
@@ -122,12 +239,15 @@ runMatrix(const std::vector<trace::Workload> &workloads,
           const std::vector<sys::Scheme> &schemes,
           const BenchOptions &opts, const ConfigHook &hook)
 {
+    const run::RunReport report =
+        runPlan(buildMatrixPlan(workloads, schemes, opts, hook), opts);
+    const std::vector<sys::SimResults> flat = report.okResults();
+
     std::vector<std::vector<sys::SimResults>> results;
-    for (const auto &w : workloads) {
-        std::vector<sys::SimResults> row;
-        for (const auto &s : schemes)
-            row.push_back(runOne(w, s, opts, hook));
-        results.push_back(std::move(row));
+    results.reserve(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        results.emplace_back(flat.begin() + w * schemes.size(),
+                             flat.begin() + (w + 1) * schemes.size());
     }
     return results;
 }

@@ -1,9 +1,11 @@
 /**
  * @file
  * Shared infrastructure for the reproduction benches: command-line
- * options, the run loop over (workload, scheme) pairs, and table
- * formatting. Every bench binary regenerates one (or one family of)
- * paper table/figure — see DESIGN.md section 5 for the index.
+ * options (a declarative flag table), RunPlan construction over
+ * (workload, scheme) matrices, parallel execution through
+ * run::Runner, and table formatting. Every bench binary regenerates
+ * one (or one family of) paper table/figure — see DESIGN.md section 5
+ * for the index — by building a RunPlan and formatting the RunReport.
  */
 
 #ifndef RRM_BENCH_BENCH_COMMON_HH
@@ -13,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "run/run_plan.hh"
+#include "run/run_report.hh"
+#include "run/runner.hh"
 #include "system/system.hh"
 
 namespace rrm::bench
@@ -36,10 +41,16 @@ struct BenchOptions
     /** Print per-run progress to stderr. */
     bool verbose = false;
 
+    /** Worker threads (--jobs); 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 0;
+
+    /** Cancel queued runs after the first failure (--fail-fast). */
+    bool failFast = false;
+
     /**
      * @{ Per-run observability outputs. Each stem produces one file
-     * per (workload, scheme) run, named
-     * `<stem>.<workload>.<scheme><ext>`, via SystemConfig::obs.
+     * per run, named `<stem>.<run-id><ext>` (matrix run ids are
+     * `<workload>.<scheme>`), via SystemConfig::obs.
      */
     std::string statsJsonStem;  ///< run records (--stats-json)
     std::string sampleCsvStem;  ///< sampled time series (--sample-csv)
@@ -53,39 +64,50 @@ struct BenchOptions
     std::string jsonOut;
 
     /**
-     * Parse argv. Recognized flags:
-     *   --quick            8 ms window (smoke-test the bench)
-     *   --window-ms <f>    window length in milliseconds
-     *   --scale <f>        time scale
-     *   --seed <n>
-     *   --workloads a,b,c  subset of Table VII names
-     *   --verbose
-     *   --stats-json S     per-run run-record JSON files S.<run>.json
-     *   --sample-csv S     per-run sampled time series S.<run>.csv
-     *   --trace-jsonl S    per-run JSONL trace files S.<run>.jsonl
-     *   --profile          wall-clock self-profiling in run records
-     *   --json-out F       bench-report path (benches that emit one)
+     * Parse argv against the declarative flag table (see
+     * benchFlagTable() in bench_common.cc); --help prints the
+     * generated usage text and exits.
      */
     static BenchOptions parse(int argc, char **argv);
 
     /** Workloads selected by the options. */
     std::vector<trace::Workload> selectedWorkloads() const;
+
+    /** Runner policy from these options (jobs, fail-fast, verbose). */
+    run::RunnerOptions runnerOptions() const;
 };
 
 /** Hook to adjust the SystemConfig before a run (sweep knobs). */
 using ConfigHook = std::function<void(sys::SystemConfig &)>;
 
-/** Build the SystemConfig for one run. */
+/**
+ * Build the SystemConfig for one run. `tag` names this run's per-run
+ * observability outputs (`<stem>.<tag>.json` etc.); empty selects the
+ * matrix default "<workload>.<scheme>". Give every variant run of a
+ * sweep a distinct tag — RunPlan::validate rejects clashing outputs.
+ */
 sys::SystemConfig makeConfig(const trace::Workload &workload,
                              const sys::Scheme &scheme,
                              const BenchOptions &opts,
-                             const ConfigHook &hook = {});
+                             const ConfigHook &hook = {},
+                             const std::string &tag = "");
 
-/** Run one (workload, scheme) simulation. */
-sys::SimResults runOne(const trace::Workload &workload,
-                       const sys::Scheme &scheme,
-                       const BenchOptions &opts,
-                       const ConfigHook &hook = {});
+/**
+ * Plan every selected workload under every scheme, workload-major,
+ * with run ids "<workload>.<scheme>".
+ */
+run::RunPlan buildMatrixPlan(
+    const std::vector<trace::Workload> &workloads,
+    const std::vector<sys::Scheme> &schemes, const BenchOptions &opts,
+    const ConfigHook &hook = {});
+
+/**
+ * Execute a plan with the options' runner policy and print the
+ * plan-level summary (runs, jobs, wall seconds, slowest run) to
+ * stderr. fatal() with every failed run id if any run did not finish.
+ */
+run::RunReport runPlan(const run::RunPlan &plan,
+                       const BenchOptions &opts);
 
 /**
  * Run every selected workload under every scheme.
@@ -112,8 +134,10 @@ constexpr int benchReportSchemaVersion = 1;
 /**
  * Write a machine-readable report of a bench's run matrix: schema
  * version, bench name, build metadata, the options of the run, and
- * one full SimResults record per (workload, scheme) pair. fatal() if
- * the file cannot be opened.
+ * one full SimResults record per (workload, scheme) pair. Execution
+ * details (jobs, wall time) are deliberately excluded so reports are
+ * byte-identical across --jobs values. fatal() if the file cannot be
+ * opened.
  */
 void writeBenchReport(
     const std::string &path, const std::string &bench_name,

@@ -24,6 +24,29 @@ main(int argc, char **argv)
     const auto workloads = opts.selectedWorkloads();
     const unsigned thresholds[] = {8, 16, 32, 64};
 
+    const auto s7 = sys::Scheme::staticScheme(pcm::WriteMode::Sets7);
+    const auto s3 = sys::Scheme::staticScheme(pcm::WriteMode::Sets3);
+
+    // One plan: the two static anchors plus the four-threshold RRM
+    // sweep, per workload. Sweep runs carry the threshold in the id.
+    run::RunPlan plan;
+    for (const auto &workload : workloads) {
+        plan.add(bench::makeConfig(workload, s7, opts));
+        plan.add(bench::makeConfig(workload, s3, opts));
+        for (unsigned threshold : thresholds) {
+            const std::string id =
+                workload.name + ".rrm-t" + std::to_string(threshold);
+            plan.add(bench::makeConfig(
+                         workload, sys::Scheme::rrmScheme(), opts,
+                         [threshold](sys::SystemConfig &cfg) {
+                             cfg.rrm.hotThreshold = threshold;
+                         },
+                         id),
+                     id);
+        }
+    }
+    const run::RunReport report = bench::runPlan(plan, opts);
+
     bench::printTitle(
         "Figure 11: controlling RRM aggressiveness via hot_threshold");
 
@@ -31,31 +54,26 @@ main(int argc, char **argv)
                 "threshold", "IPC", "IPC vs S-7", "lifetime (y)");
 
     std::vector<double> ipc_geo(4, 1.0), life_geo(4, 1.0);
-    std::vector<double> s3_geo_acc;
-    double s3_geo = 1.0, s7_geo = 1.0;
+    double s3_geo = 1.0;
 
     for (const auto &workload : workloads) {
-        const auto s7 = bench::runOne(
-            workload, sys::Scheme::staticScheme(pcm::WriteMode::Sets7),
-            opts);
-        const auto s3 = bench::runOne(
-            workload, sys::Scheme::staticScheme(pcm::WriteMode::Sets3),
-            opts);
-        s7_geo *= s7.aggregateIpc;
-        s3_geo *= s3.aggregateIpc;
+        const auto &r7 =
+            report.find(workload.name + "." + s7.name())->results;
+        const auto &r3 =
+            report.find(workload.name + "." + s3.name())->results;
+        s3_geo *= r3.aggregateIpc;
         for (std::size_t t = 0; t < 4; ++t) {
-            const unsigned threshold = thresholds[t];
-            const auto r = bench::runOne(
-                workload, sys::Scheme::rrmScheme(), opts,
-                [&](sys::SystemConfig &cfg) {
-                    cfg.rrm.hotThreshold = threshold;
-                });
+            const auto &r =
+                report
+                    .find(workload.name + ".rrm-t" +
+                          std::to_string(thresholds[t]))
+                    ->results;
             ipc_geo[t] *= r.aggregateIpc;
             life_geo[t] *= r.lifetimeYears;
             std::printf("%-12s %12u %14.3f %13.1f%% %14.3f\n",
                         t == 0 ? workload.name.c_str() : "",
-                        threshold, r.aggregateIpc,
-                        100.0 * (r.aggregateIpc / s7.aggregateIpc -
+                        thresholds[t], r.aggregateIpc,
+                        100.0 * (r.aggregateIpc / r7.aggregateIpc -
                                  1.0),
                         r.lifetimeYears);
         }
@@ -67,9 +85,9 @@ main(int argc, char **argv)
                 "IPC", "vs Static-3", "lifetime (y)");
     for (std::size_t t = 0; t < 4; ++t) {
         const double ipc = std::pow(ipc_geo[t], 1.0 / n);
-        const double s3 = std::pow(s3_geo, 1.0 / n);
+        const double s3_ipc = std::pow(s3_geo, 1.0 / n);
         std::printf("%-12s %12u %14.3f %13.1f%% %14.3f\n", "",
-                    thresholds[t], ipc, 100.0 * (ipc / s3 - 1.0),
+                    thresholds[t], ipc, 100.0 * (ipc / s3_ipc - 1.0),
                     std::pow(life_geo[t], 1.0 / n));
     }
     std::printf(

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     bench::printTitle(
         "Table VIII: RRM configuration for different LLC coverage");
     std::printf("%-10s %-22s %12s %14s\n", "coverage", "configuration",
-                "storage", "%% of LLC");
+                "storage", "% of LLC");
     for (std::size_t i = 0; i < 4; ++i) {
         monitor::RrmConfig cfg;
         cfg.numSets = set_counts[i];
@@ -44,7 +44,24 @@ main(int argc, char **argv)
     std::printf("paper: 48 KB/0.78%%, 96 KB/1.56%%, 192 KB/3.12%%, "
                 "384 KB/6.25%%.\n");
 
-    // ---- Figure 12: performance/lifetime per coverage ----
+    // ---- Figure 12: one plan over the coverage sweep ----
+    run::RunPlan plan;
+    for (const auto &workload : workloads) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            const unsigned sets = set_counts[i];
+            const std::string id =
+                workload.name + ".rrm-cov" + labels[i];
+            plan.add(bench::makeConfig(
+                         workload, sys::Scheme::rrmScheme(), opts,
+                         [sets](sys::SystemConfig &cfg) {
+                             cfg.rrm.numSets = sets;
+                         },
+                         id),
+                     id);
+        }
+    }
+    const run::RunReport report = bench::runPlan(plan, opts);
+
     bench::printTitle(
         "Figure 12: sensitivity to the LLC coverage rate of RRM");
     std::printf("%-12s %10s %14s %14s %12s\n", "workload", "coverage",
@@ -52,12 +69,9 @@ main(int argc, char **argv)
     std::vector<double> ipc_geo(4, 1.0), life_geo(4, 1.0);
     for (const auto &workload : workloads) {
         for (std::size_t i = 0; i < 4; ++i) {
-            const unsigned sets = set_counts[i];
-            const auto r = bench::runOne(
-                workload, sys::Scheme::rrmScheme(), opts,
-                [&](sys::SystemConfig &cfg) {
-                    cfg.rrm.numSets = sets;
-                });
+            const auto &r =
+                report.find(workload.name + ".rrm-cov" + labels[i])
+                    ->results;
             ipc_geo[i] *= r.aggregateIpc;
             life_geo[i] *= r.lifetimeYears;
             std::printf("%-12s %10s %14.3f %14.3f %11.1f%%\n",

@@ -25,6 +25,30 @@ main(int argc, char **argv)
     const auto workloads = opts.selectedWorkloads();
     const std::uint64_t sizes[] = {2_KiB, 4_KiB, 8_KiB, 16_KiB};
 
+    const auto idFor = [](const trace::Workload &w, std::uint64_t region) {
+        return w.name + ".rrm-entry" + std::to_string(region / 1024) +
+               "K";
+    };
+
+    run::RunPlan plan;
+    for (const auto &workload : workloads) {
+        for (std::uint64_t region : sizes) {
+            const std::string id = idFor(workload, region);
+            plan.add(bench::makeConfig(
+                         workload, sys::Scheme::rrmScheme(), opts,
+                         [region](sys::SystemConfig &cfg) {
+                             cfg.rrm.regionBytes = region;
+                             // Hold 24 MB total coverage: sets scale
+                             // inversely with the entry size.
+                             cfg.rrm.numSets = static_cast<unsigned>(
+                                 24_MiB / (region * cfg.rrm.assoc));
+                         },
+                         id),
+                     id);
+        }
+    }
+    const run::RunReport report = bench::runPlan(plan, opts);
+
     bench::printTitle(
         "Figure 13: sensitivity to the entry coverage size of RRM");
     std::printf("%-12s %10s %14s %14s %12s\n", "workload", "entry",
@@ -33,21 +57,13 @@ main(int argc, char **argv)
     std::vector<double> ipc_geo(4, 1.0), life_geo(4, 1.0);
     for (const auto &workload : workloads) {
         for (std::size_t i = 0; i < 4; ++i) {
-            const std::uint64_t region = sizes[i];
-            const auto r = bench::runOne(
-                workload, sys::Scheme::rrmScheme(), opts,
-                [&](sys::SystemConfig &cfg) {
-                    cfg.rrm.regionBytes = region;
-                    // Hold 24 MB total coverage: sets scale inversely
-                    // with the entry size.
-                    cfg.rrm.numSets = static_cast<unsigned>(
-                        24_MiB / (region * cfg.rrm.assoc));
-                });
+            const auto &r =
+                report.find(idFor(workload, sizes[i]))->results;
             ipc_geo[i] *= r.aggregateIpc;
             life_geo[i] *= r.lifetimeYears;
             std::printf("%-12s %8llu K %14.3f %14.3f %11.1f%%\n",
                         i == 0 ? workload.name.c_str() : "",
-                        static_cast<unsigned long long>(region / 1024),
+                        static_cast<unsigned long long>(sizes[i] / 1024),
                         r.aggregateIpc, r.lifetimeYears,
                         100.0 * r.fastWriteFraction());
         }

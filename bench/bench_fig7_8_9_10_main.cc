@@ -29,7 +29,7 @@ main(int argc, char **argv)
     const bench::BenchOptions opts =
         bench::BenchOptions::parse(argc, argv);
     const auto workloads = opts.selectedWorkloads();
-    const auto schemes = sys::allSchemes(); // Static-7..3, RRM
+    const auto schemes = sys::allPaperSchemes(); // Static-7..3, RRM
 
     const auto results = bench::runMatrix(workloads, schemes, opts);
     const std::size_t n = workloads.size();

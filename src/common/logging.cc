@@ -50,13 +50,24 @@ warnOnceSeen()
 void
 defaultSink(LogSeverity severity, const std::string &msg)
 {
+    // One pre-formatted write per message so concurrent runner
+    // workers cannot interleave fragments of their lines.
+    std::string line;
+    line.reserve(msg.size() + 8);
+    line += severity == LogSeverity::Warn ? "warn: " : "info: ";
+    line += msg;
+    line += '\n';
     if (severity == LogSeverity::Warn)
-        std::cerr << "warn: " << msg << '\n';
+        std::cerr << line;
     else
-        std::cout << "info: " << msg << '\n';
+        std::cout << line;
 }
 
-/** Apply quiet mode and the severity filter, then route to a sink. */
+/**
+ * Apply quiet mode and the severity filter, then route to a sink.
+ * The sink runs under the log mutex, so concurrent emitters are
+ * serialized; sinks must not call back into the log functions.
+ */
 void
 dispatch(LogSeverity severity, const std::string &msg)
 {
@@ -66,11 +77,8 @@ dispatch(LogSeverity severity, const std::string &msg)
         minSeverity.load(std::memory_order_relaxed)) {
         return;
     }
-    LogSink sink;
-    {
-        std::lock_guard<std::mutex> lock(logMutex());
-        sink = sinkSlot();
-    }
+    std::lock_guard<std::mutex> lock(logMutex());
+    const LogSink &sink = sinkSlot();
     if (sink)
         sink(severity, msg);
     else

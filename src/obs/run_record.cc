@@ -5,6 +5,7 @@
 
 #include "run_record.hh"
 
+#include <cstdlib>
 #include <ctime>
 
 namespace rrm::obs
@@ -19,7 +20,12 @@ currentRunMetadata()
 #else
     meta.gitDescribe = "unknown";
 #endif
-    const std::time_t now = std::time(nullptr);
+    // SOURCE_DATE_EPOCH (the reproducible-builds convention) pins the
+    // timestamp so identical runs emit byte-identical records — the
+    // determinism tests and CI diff jobs rely on it.
+    std::time_t now = std::time(nullptr);
+    if (const char *epoch = std::getenv("SOURCE_DATE_EPOCH"))
+        now = static_cast<std::time_t>(std::atoll(epoch));
     std::tm tm_utc{};
     if (gmtime_r(&now, &tm_utc)) {
         char buf[32];

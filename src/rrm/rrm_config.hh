@@ -7,6 +7,8 @@
 #define RRM_RRM_RRM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -155,23 +157,58 @@ struct RrmConfig
         return divCeil(storageBits(), 8);
     }
 
+    /**
+     * Append a description of every violated invariant to `errors`
+     * (SystemConfig::validate() aggregates them into one message).
+     */
+    void
+    collectErrors(std::vector<std::string> &errors) const
+    {
+        if (!isPowerOfTwo(regionBytes) || !isPowerOfTwo(blockBytes))
+            errors.push_back("RRM region/block sizes must be powers of two");
+        if (regionBytes < blockBytes)
+            errors.push_back("RRM region smaller than a block");
+        if (numSets == 0 || assoc == 0)
+            errors.push_back("RRM geometry must be non-empty");
+        if (hotThreshold == 0)
+            errors.push_back("hot_threshold must be positive");
+        if (timeScale < 1.0)
+            errors.push_back("time scale must be >= 1");
+        if (pcm::retentionSeconds(fastMode) >=
+            pcm::retentionSeconds(slowMode)) {
+            errors.push_back(
+                "fast mode must have shorter retention than slow");
+        }
+    }
+
     /** Validate invariants; fatal() on bad user configuration. */
     void
     check() const
     {
-        if (!isPowerOfTwo(regionBytes) || !isPowerOfTwo(blockBytes))
-            fatal("RRM region/block sizes must be powers of two");
-        if (regionBytes < blockBytes)
-            fatal("RRM region smaller than a block");
-        if (numSets == 0 || assoc == 0)
-            fatal("RRM geometry must be non-empty");
-        if (hotThreshold == 0)
-            fatal("hot_threshold must be positive");
-        if (timeScale < 1.0)
-            fatal("time scale must be >= 1");
-        if (pcm::retentionSeconds(fastMode) >=
-            pcm::retentionSeconds(slowMode))
-            fatal("fast mode must have shorter retention than slow");
+        std::vector<std::string> errors;
+        collectErrors(errors);
+        if (!errors.empty())
+            fatal(errors.front());
+    }
+
+    /**
+     * True if any structural field differs from the defaults — i.e.
+     * the user configured the RRM (timeScale is set by the system and
+     * does not count). Used to flag RRM settings on a Static scheme.
+     */
+    bool
+    isCustomized() const
+    {
+        const RrmConfig def;
+        return regionBytes != def.regionBytes ||
+               blockBytes != def.blockBytes || numSets != def.numSets ||
+               assoc != def.assoc || hotThreshold != def.hotThreshold ||
+               dirtyWriteFilter != def.dirtyWriteFilter ||
+               accessLatency != def.accessLatency ||
+               fastMode != def.fastMode || slowMode != def.slowMode ||
+               guardSeconds != def.guardSeconds ||
+               decayTicksPerInterval != def.decayTicksPerInterval ||
+               decayStretch != def.decayStretch;
     }
 };
 

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * RunReport implementation.
+ */
+
+#include "run_report.hh"
+
+#include "common/logging.hh"
+
+namespace rrm::run
+{
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::Failed:
+        return "failed";
+      case RunStatus::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+std::size_t
+RunReport::completedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : runs)
+        n += r.status == RunStatus::Ok;
+    return n;
+}
+
+std::size_t
+RunReport::failedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : runs)
+        n += r.status == RunStatus::Failed;
+    return n;
+}
+
+std::size_t
+RunReport::cancelledCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : runs)
+        n += r.status == RunStatus::Cancelled;
+    return n;
+}
+
+std::size_t
+RunReport::slowestRunIndex() const
+{
+    std::size_t slowest = std::string::npos;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].status != RunStatus::Ok)
+            continue;
+        if (slowest == std::string::npos ||
+            runs[i].wallSeconds > runs[slowest].wallSeconds) {
+            slowest = i;
+        }
+    }
+    return slowest;
+}
+
+const RunResult *
+RunReport::find(const std::string &id) const
+{
+    for (const auto &r : runs) {
+        if (r.id == id)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<sys::SimResults>
+RunReport::okResults() const
+{
+    std::vector<sys::SimResults> out;
+    out.reserve(runs.size());
+    for (const auto &r : runs) {
+        if (r.status != RunStatus::Ok)
+            fatal("run ", r.id, " is ", runStatusName(r.status),
+                  r.error.empty() ? "" : ": ", r.error);
+        out.push_back(r.results);
+    }
+    return out;
+}
+
+void
+RunReport::registerStats(stats::StatGroup &parent) const
+{
+    auto &g = parent.addChild("run");
+    g.addScalar("runs", "runs in the executed plan")
+        .set(static_cast<double>(runs.size()));
+    g.addScalar("completed", "runs that finished ok")
+        .set(static_cast<double>(completedCount()));
+    g.addScalar("failed", "runs that threw")
+        .set(static_cast<double>(failedCount()));
+    g.addScalar("cancelled", "runs cancelled by --fail-fast")
+        .set(static_cast<double>(cancelledCount()));
+    g.addScalar("jobs", "worker threads used")
+        .set(static_cast<double>(jobs));
+    g.addScalar("wallSeconds", "host wall-clock of the whole plan")
+        .set(wallSeconds);
+    const std::size_t slowest = slowestRunIndex();
+    g.addScalar("slowestRunSeconds",
+                "host wall-clock of the slowest completed run")
+        .set(slowest == std::string::npos
+                 ? 0.0
+                 : runs[slowest].wallSeconds);
+}
+
+obs::Profiler
+RunReport::profile() const
+{
+    obs::Profiler prof;
+    prof.enter("run");
+    for (const auto &r : runs) {
+        if (r.status != RunStatus::Ok)
+            continue;
+        prof.enter(r.id.c_str());
+        prof.leave(static_cast<std::uint64_t>(r.wallSeconds * 1e9));
+    }
+    prof.leave(static_cast<std::uint64_t>(wallSeconds * 1e9));
+    return prof;
+}
+
+std::string
+RunReport::failureSummary() const
+{
+    std::string out;
+    for (const auto &r : runs) {
+        if (r.status == RunStatus::Ok)
+            continue;
+        out += (out.empty() ? "" : "; ") + r.id + " " +
+               runStatusName(r.status);
+        if (!r.error.empty())
+            out += " (" + r.error + ")";
+    }
+    return out;
+}
+
+} // namespace rrm::run

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Runner implementation: worker pool, dispatch, failure capture.
+ */
+
+#include "runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace rrm::run
+{
+
+namespace
+{
+
+/** Seconds elapsed since `start` on the steady clock. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Shared execution state of one plan; workers hold a reference. */
+struct Execution
+{
+    Execution(const RunPlan &p, const RunnerOptions &o, RunReport &r)
+        : plan(p), options(o), report(r)
+    {}
+
+    const RunPlan &plan;
+    const RunnerOptions &options;
+    RunReport &report;
+
+    /** Next plan index to dispatch. */
+    std::atomic<std::size_t> next{0};
+
+    /** Set by the first failure when failFast is on. */
+    std::atomic<bool> aborted{false};
+
+    /** Serializes progress accounting and the onProgress callback. */
+    std::mutex progressMutex;
+    std::size_t finished = 0;          // guarded by progressMutex
+    double slowestSeconds = 0.0;       // guarded by progressMutex
+};
+
+/** Execute plan run `index`, filling its plan-order report slot. */
+void
+executeOne(Execution &ex, std::size_t index)
+{
+    const RunSpec &spec = ex.plan[index];
+    RunResult &slot = ex.report.runs[index];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        sys::System system(spec.config);
+        slot.results = system.run();
+        if (spec.postRun)
+            spec.postRun(system, slot.results);
+        slot.status = RunStatus::Ok;
+    } catch (const std::exception &e) {
+        slot.status = RunStatus::Failed;
+        slot.error = e.what();
+        if (ex.options.failFast)
+            ex.aborted.store(true, std::memory_order_relaxed);
+    }
+    slot.wallSeconds = secondsSince(start);
+
+    RunProgress progress;
+    progress.index = index;
+    progress.status = slot.status;
+    progress.runSeconds = slot.wallSeconds;
+    progress.total = ex.plan.size();
+    {
+        const std::lock_guard<std::mutex> lock(ex.progressMutex);
+        progress.finished = ++ex.finished;
+        if (slot.status == RunStatus::Ok &&
+            slot.wallSeconds > ex.slowestSeconds) {
+            ex.slowestSeconds = slot.wallSeconds;
+        }
+        progress.slowestSeconds = ex.slowestSeconds;
+        if (ex.options.verbose) {
+            std::fprintf(stderr,
+                         "  [%zu/%zu] %-9s %-32s %6.2f s"
+                         " (slowest %.2f s)\n",
+                         progress.finished, progress.total,
+                         runStatusName(slot.status), spec.label.c_str(),
+                         slot.wallSeconds, progress.slowestSeconds);
+        }
+        if (ex.options.onProgress)
+            ex.options.onProgress(progress);
+    }
+}
+
+/** Worker loop: pull plan indices until the plan (or dispatch) ends. */
+void
+workerLoop(Execution &ex)
+{
+    while (true) {
+        if (ex.aborted.load(std::memory_order_relaxed))
+            return;
+        const std::size_t index =
+            ex.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= ex.plan.size())
+            return;
+        executeOne(ex, index);
+    }
+}
+
+} // namespace
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
+
+unsigned
+Runner::effectiveJobs(std::size_t plan_size) const
+{
+    unsigned jobs = options_.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (plan_size > 0 &&
+        jobs > plan_size) {
+        jobs = static_cast<unsigned>(plan_size);
+    }
+    return jobs < 1 ? 1 : jobs;
+}
+
+RunReport
+Runner::execute(const RunPlan &plan) const
+{
+    plan.validate();
+
+    RunReport report;
+    report.runs.resize(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        report.runs[i].id = plan[i].id;
+        report.runs[i].label = plan[i].label;
+        report.runs[i].status = RunStatus::Cancelled;
+    }
+    report.jobs = effectiveJobs(plan.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    Execution ex{plan, options_, report};
+    if (report.jobs <= 1) {
+        // Serial path: no threads, identical to the historical loop.
+        workerLoop(ex);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(report.jobs);
+        for (unsigned w = 0; w < report.jobs; ++w)
+            workers.emplace_back([&ex] { workerLoop(ex); });
+        for (auto &t : workers)
+            t.join();
+    }
+    report.wallSeconds = secondsSince(start);
+    return report;
+}
+
+} // namespace rrm::run

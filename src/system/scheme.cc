@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Canonical scheme naming and the name -> scheme round-trip.
+ */
+
+#include "scheme.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rrm::sys
+{
+
+std::string
+Scheme::name() const
+{
+    if (kind == SchemeKind::Rrm)
+        return "RRM";
+    return "Static-" +
+           std::to_string(pcm::setIterations(staticMode)) + "-SETs";
+}
+
+bool
+operator==(const Scheme &a, const Scheme &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    return a.kind == SchemeKind::Rrm || a.staticMode == b.staticMode;
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    for (const Scheme &s : allPaperSchemes()) {
+        if (s.name() == name)
+            return s;
+    }
+    std::ostringstream valid;
+    for (const Scheme &s : allPaperSchemes())
+        valid << (valid.tellp() > 0 ? ", " : "") << s.name();
+    fatal("unknown scheme '", name, "' (valid: ", valid.str(), ")");
+}
+
+std::vector<Scheme>
+allPaperSchemes()
+{
+    std::vector<Scheme> v;
+    for (auto it = pcm::allWriteModes.rbegin();
+         it != pcm::allWriteModes.rend(); ++it) {
+        v.push_back(Scheme::staticScheme(*it));
+    }
+    v.push_back(Scheme::rrmScheme());
+    return v;
+}
+
+std::vector<Scheme>
+staticSchemes()
+{
+    auto v = allPaperSchemes();
+    v.pop_back();
+    return v;
+}
+
+} // namespace rrm::sys

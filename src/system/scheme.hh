@@ -1,6 +1,11 @@
 /**
  * @file
  * The evaluated write-management schemes (paper Table VI).
+ *
+ * Scheme names are a first-class, canonical API: name() produces the
+ * label every table, report, and per-run output file uses
+ * ("Static-7-SETs" ... "Static-3-SETs", "RRM"), and parseScheme()
+ * inverts it, so callers never maintain their own label tables.
  */
 
 #ifndef RRM_SYSTEM_SCHEME_HH
@@ -59,37 +64,31 @@ struct Scheme
                                           : pcm::WriteMode::Sets7;
     }
 
-    std::string
-    name() const
-    {
-        if (kind == SchemeKind::Rrm)
-            return "RRM";
-        return "Static-" +
-               std::to_string(pcm::setIterations(staticMode)) + "-SETs";
-    }
+    /** Canonical name; parseScheme() inverts it exactly. */
+    std::string name() const;
 };
 
-/** All six schemes of Table VI, Static-7 first, RRM last. */
-inline std::vector<Scheme>
-allSchemes()
+/** @{ Value equality (the RRM scheme ignores staticMode). */
+bool operator==(const Scheme &a, const Scheme &b);
+inline bool
+operator!=(const Scheme &a, const Scheme &b)
 {
-    std::vector<Scheme> v;
-    for (auto it = pcm::allWriteModes.rbegin();
-         it != pcm::allWriteModes.rend(); ++it) {
-        v.push_back(Scheme::staticScheme(*it));
-    }
-    v.push_back(Scheme::rrmScheme());
-    return v;
+    return !(a == b);
 }
+/** @} */
+
+/**
+ * Parse a canonical scheme name ("RRM", "Static-5-SETs") back into
+ * the scheme it names: parseScheme(s.name()) == s for every paper
+ * scheme. fatal() on any other string, listing the valid names.
+ */
+Scheme parseScheme(const std::string &name);
+
+/** All six schemes of Table VI, Static-7 first, RRM last. */
+std::vector<Scheme> allPaperSchemes();
 
 /** The five static schemes, Static-7 first. */
-inline std::vector<Scheme>
-staticSchemes()
-{
-    auto v = allSchemes();
-    v.pop_back();
-    return v;
-}
+std::vector<Scheme> staticSchemes();
 
 } // namespace rrm::sys
 

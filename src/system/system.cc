@@ -16,38 +16,71 @@
 namespace rrm::sys
 {
 
-void
-SystemConfig::finalize()
+std::vector<std::string>
+SystemConfig::validate() const
 {
+    std::vector<std::string> errors;
     if (workload.name.empty())
-        fatal("system config has no workload");
-    if (hierarchy.numCores != trace::workloadCores)
-        fatal("hierarchy must have ", trace::workloadCores, " cores");
+        errors.push_back("system config has no workload");
+    if (hierarchy.numCores != trace::workloadCores) {
+        errors.push_back("hierarchy must have " +
+                         std::to_string(trace::workloadCores) +
+                         " cores");
+    }
     if (timeScale < 1.0)
-        fatal("time scale must be >= 1");
+        errors.push_back("time scale must be >= 1");
     if (windowSeconds <= 0.0)
-        fatal("window must be positive");
+        errors.push_back("window must be positive");
     if (warmupFraction < 0.0 || warmupFraction >= 1.0)
-        fatal("warmup fraction must be in [0, 1)");
-    rrm.timeScale = timeScale;
-    rrm.check();
+        errors.push_back("warmup fraction must be in [0, 1)");
+
+    if (scheme.kind == SchemeKind::Rrm) {
+        monitor::RrmConfig effective = rrm;
+        effective.timeScale = timeScale >= 1.0 ? timeScale : 1.0;
+        effective.collectErrors(errors);
+    } else if (rrm.isCustomized()) {
+        errors.push_back("RRM configured but the scheme is " +
+                         scheme.name() +
+                         " (RRM settings would be silently ignored)");
+    }
 
     if (!customProfiles.empty() &&
         customProfiles.size() != hierarchy.numCores) {
-        fatal("customProfiles must supply one profile per core");
-    }
-    const std::uint64_t slice =
-        memory.memoryBytes / hierarchy.numCores;
-    for (unsigned c = 0; c < hierarchy.numCores; ++c) {
-        const auto &profile =
-            customProfiles.empty()
-                ? trace::benchmarkProfile(workload.perCore[c])
-                : *customProfiles[c];
-        if (profile.footprintBytes() > slice) {
-            fatal("benchmark ", profile.name, " footprint exceeds the ",
-                  slice, "-byte per-core slice");
+        errors.push_back("customProfiles must supply one profile per core");
+    } else if (!workload.name.empty() &&
+               hierarchy.numCores == trace::workloadCores &&
+               hierarchy.numCores > 0) {
+        const std::uint64_t slice =
+            memory.memoryBytes / hierarchy.numCores;
+        for (unsigned c = 0; c < hierarchy.numCores; ++c) {
+            const auto &profile =
+                customProfiles.empty()
+                    ? trace::benchmarkProfile(workload.perCore[c])
+                    : *customProfiles[c];
+            if (profile.footprintBytes() > slice) {
+                errors.push_back("benchmark " +
+                                 std::string(profile.name) +
+                                 " footprint exceeds the " +
+                                 std::to_string(slice) +
+                                 "-byte per-core slice");
+            }
         }
     }
+    return errors;
+}
+
+void
+SystemConfig::finalize()
+{
+    const std::vector<std::string> errors = validate();
+    if (!errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += (joined.empty() ? "" : "; ") + e;
+        fatal("invalid system config (", errors.size(),
+              " problem(s)): ", joined);
+    }
+    rrm.timeScale = timeScale;
 }
 
 System::System(SystemConfig config)

@@ -112,7 +112,19 @@ struct SystemConfig
 
     std::uint64_t seed = 1;
 
-    /** Fill derived fields (rrm.timeScale) and validate. */
+    /**
+     * Check every configuration constraint and return one message per
+     * violation (empty = valid). Unlike failing fast deep inside
+     * construction, this aggregates *all* problems — a bad sweep
+     * config is diagnosed in one pass. Called by finalize() (and thus
+     * the System constructor) and by run::RunPlan::validate().
+     */
+    std::vector<std::string> validate() const;
+
+    /**
+     * Fill derived fields (rrm.timeScale) and validate; throws one
+     * FatalError carrying every validation failure.
+     */
     void finalize();
 };
 

@@ -31,9 +31,9 @@ TEST(Scheme, GlobalRefreshModeFollowsScheme)
               pcm::WriteMode::Sets7);
 }
 
-TEST(Scheme, AllSchemesTable6Order)
+TEST(Scheme, AllPaperSchemesTable6Order)
 {
-    const auto all = allSchemes();
+    const auto all = allPaperSchemes();
     ASSERT_EQ(all.size(), 6u);
     EXPECT_EQ(all[0].name(), "Static-7-SETs");
     EXPECT_EQ(all[1].name(), "Static-6-SETs");
@@ -49,6 +49,29 @@ TEST(Scheme, StaticSchemesExcludeRrm)
     ASSERT_EQ(stat.size(), 5u);
     for (const auto &s : stat)
         EXPECT_EQ(s.kind, SchemeKind::Static);
+}
+
+TEST(Scheme, ParseSchemeRoundTripsEveryPaperScheme)
+{
+    for (const Scheme &s : allPaperSchemes())
+        EXPECT_EQ(parseScheme(s.name()), s);
+}
+
+TEST(Scheme, ParseSchemeRejectsUnknownNames)
+{
+    EXPECT_THROW(parseScheme("Static-8-SETs"), FatalError);
+    EXPECT_THROW(parseScheme("rrm"), FatalError);
+    EXPECT_THROW(parseScheme(""), FatalError);
+}
+
+TEST(Scheme, EqualityIgnoresStaticModeForRrm)
+{
+    Scheme a = Scheme::rrmScheme();
+    Scheme b = Scheme::rrmScheme();
+    b.staticMode = pcm::WriteMode::Sets3;
+    EXPECT_EQ(a, b);
+    EXPECT_NE(Scheme::staticScheme(pcm::WriteMode::Sets3),
+              Scheme::staticScheme(pcm::WriteMode::Sets4));
 }
 
 } // namespace

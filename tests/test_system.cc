@@ -235,6 +235,48 @@ TEST(SystemIntegration, ConfigValidationRejectsNonsense)
     EXPECT_THROW(System{std::move(cfg)}, FatalError);
 }
 
+TEST(SystemIntegration, ConfigValidationAggregatesEveryProblem)
+{
+    SystemConfig cfg = quickConfig("lbm", Scheme::rrmScheme());
+    cfg.timeScale = 0.0;
+    cfg.windowSeconds = -1.0;
+    cfg.warmupFraction = 1.5;
+    const std::vector<std::string> errors = cfg.validate();
+    EXPECT_GE(errors.size(), 3u);
+
+    // The ctor reports all of them in one message, not just the first.
+    try {
+        System system(std::move(cfg));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("problem(s)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("time scale must be >= 1"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("window must be positive"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("warmup fraction must be in [0, 1)"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(SystemIntegration, ConfigValidationFlagsIgnoredRrmSettings)
+{
+    // RRM knobs configured under a Static scheme would be silently
+    // dead; validation calls it out.
+    SystemConfig cfg =
+        quickConfig("lbm", Scheme::staticScheme(pcm::WriteMode::Sets7));
+    cfg.rrm.hotThreshold = 8;
+    const std::vector<std::string> errors = cfg.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("RRM configured but the scheme is"),
+              std::string::npos)
+        << errors[0];
+}
+
 TEST(SystemIntegration, CountOnlyRefreshTimingStillCountsWear)
 {
     SystemConfig cfg = quickConfig("GemsFDTD", Scheme::rrmScheme());
