@@ -99,6 +99,50 @@ benchFlagTable()
          }},
         {"--json-out", "F", "bench-report path (benches that emit one)",
          [](BenchOptions &o, const std::string &v) { o.jsonOut = v; }},
+        {"--timeout", "F", "per-run wall-clock budget in seconds",
+         [](BenchOptions &o, const std::string &v) {
+             o.timeoutSeconds = std::atof(v.c_str());
+         }},
+        {"--retries", "N", "re-attempts after a failed/timed-out run",
+         [](BenchOptions &o, const std::string &v) {
+             o.retries = static_cast<unsigned>(
+                 std::strtoul(v.c_str(), nullptr, 10));
+         }},
+        {"--fault-retention", nullptr,
+         "track retention deadlines of short-retention writes",
+         [](BenchOptions &o, const std::string &) {
+             o.fault.retentionTracking = true;
+         }},
+        {"--fault-strict", nullptr,
+         "treat a retention violation as a check failure",
+         [](BenchOptions &o, const std::string &) {
+             o.fault.strict = true;
+         }},
+        {"--fault-rate", "F", "transient write-failure probability",
+         [](BenchOptions &o, const std::string &v) {
+             o.fault.transientWriteFailureRate = std::atof(v.c_str());
+         }},
+        {"--fault-seed", "N", "fault-injector RNG seed",
+         [](BenchOptions &o, const std::string &v) {
+             o.fault.seed = std::strtoull(v.c_str(), nullptr, 10);
+         }},
+        {"--fault-wear-threshold", "N",
+         "region write count per stuck-at fault chance (0 = off)",
+         [](BenchOptions &o, const std::string &v) {
+             o.fault.stuckAtWearThreshold =
+                 std::strtoull(v.c_str(), nullptr, 10);
+         }},
+        {"--fault-stall-ms", "F",
+         "periodic refresh-queue stall length in milliseconds",
+         [](BenchOptions &o, const std::string &v) {
+             o.fault.refreshStallSeconds = std::atof(v.c_str()) / 1e3;
+         }},
+        {"--fault-stall-period-ms", "F",
+         "refresh-stall period in milliseconds (0 = 4x length)",
+         [](BenchOptions &o, const std::string &v) {
+             o.fault.refreshStallPeriodSeconds =
+                 std::atof(v.c_str()) / 1e3;
+         }},
     };
     return table;
 }
@@ -167,6 +211,8 @@ BenchOptions::runnerOptions() const
     ro.jobs = jobs;
     ro.failFast = failFast;
     ro.verbose = verbose;
+    ro.timeoutSeconds = timeoutSeconds;
+    ro.retries = retries;
     return ro;
 }
 
@@ -182,6 +228,7 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
     cfg.timeScale = opts.timeScale;
     cfg.warmupFraction = opts.warmupFraction;
     cfg.seed = opts.seed;
+    cfg.fault = opts.fault;
 
     const std::string run_tag =
         tag.empty() ? workload.name + "." + scheme.name() : tag;

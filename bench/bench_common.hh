@@ -63,6 +63,19 @@ struct BenchOptions
     /** Bench-report path override (--json-out); bench default if empty. */
     std::string jsonOut;
 
+    /** Per-run wall-clock budget in seconds (--timeout); 0 = none. */
+    double timeoutSeconds = 0.0;
+
+    /** Re-attempts after a failed/timed-out run (--retries). */
+    unsigned retries = 0;
+
+    /**
+     * Fault-injection knobs (--fault-*), copied into every run's
+     * SystemConfig. All-defaults means the fault layer is absent and
+     * bench outputs are byte-identical to builds without it.
+     */
+    fault::FaultConfig fault;
+
     /**
      * Parse argv against the declarative flag table (see
      * benchFlagTable() in bench_common.cc); --help prints the

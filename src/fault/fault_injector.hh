@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic, seeded fault-draw streams.
+ *
+ * Each fault class draws from its own split of the injector seed so
+ * enabling one class never perturbs another class's sequence — the
+ * foundation of the byte-identical `fault.*` stats contract.
+ */
+
+#ifndef RRM_FAULT_FAULT_INJECTOR_HH
+#define RRM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace rrm::fault
+{
+
+class FaultInjector
+{
+  public:
+    FaultInjector(double transient_write_failure_rate,
+                  double stuck_at_rate, std::uint64_t seed)
+        : seeder_(seed), writeRng_(seeder_.split()),
+          stuckRng_(seeder_.split()),
+          transientRate_(transient_write_failure_rate),
+          stuckAtRate_(stuck_at_rate)
+    {}
+
+    /** Draw: does this completed write fail transiently? */
+    bool
+    writeFails()
+    {
+        return transientRate_ > 0.0 && writeRng_.chance(transientRate_);
+    }
+
+    /** Draw: does this wear-threshold crossing develop a stuck-at? */
+    bool
+    developsStuckAt()
+    {
+        return stuckAtRate_ > 0.0 && stuckRng_.chance(stuckAtRate_);
+    }
+
+  private:
+    Random seeder_;
+    Random writeRng_;
+    Random stuckRng_;
+    double transientRate_;
+    double stuckAtRate_;
+};
+
+} // namespace rrm::fault
+
+#endif // RRM_FAULT_FAULT_INJECTOR_HH

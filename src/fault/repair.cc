@@ -1,0 +1,59 @@
+/**
+ * @file
+ * EcpRepair / LineRetirement implementation.
+ */
+
+#include "repair.hh"
+
+#include "common/check.hh"
+
+namespace rrm::fault
+{
+
+void
+EcpRepair::audit() const
+{
+    for (const auto &[line, used] : used_) {
+        RRM_AUDIT(used > 0 && used <= budget_, "line ", line,
+                  " carries an out-of-budget ECP count ", used);
+    }
+}
+
+LineRetirement::LineRetirement(std::uint64_t memory_bytes,
+                               std::uint64_t block_bytes,
+                               std::uint64_t spare_blocks)
+    : blockBytes_(block_bytes), spareBlocks_(spare_blocks),
+      spareBase_(memory_bytes - spare_blocks * block_bytes)
+{
+    RRM_CHECK(block_bytes > 0, "retirement block size must be > 0");
+    RRM_CHECK(spare_blocks * block_bytes <= memory_bytes,
+              "spare pool larger than memory");
+}
+
+bool
+LineRetirement::retire(Addr line)
+{
+    RRM_CHECK(!isRetired(line), "line ", line, " retired twice");
+    if (nextSpare_ >= spareBlocks_)
+        return false;
+    map_[line] = spareBase_ + nextSpare_ * blockBytes_;
+    ++nextSpare_;
+    return true;
+}
+
+void
+LineRetirement::audit() const
+{
+    RRM_AUDIT(map_.size() == nextSpare_,
+              "retirement map size ", map_.size(),
+              " disagrees with spares handed out ", nextSpare_);
+    for (const auto &[line, spare] : map_) {
+        RRM_AUDIT(spare >= spareBase_ &&
+                      spare < spareBase_ + spareBlocks_ * blockBytes_,
+                  "retired line ", line, " mapped outside the spare "
+                  "pool");
+        RRM_AUDIT(line != spare, "line retired onto itself");
+    }
+}
+
+} // namespace rrm::fault

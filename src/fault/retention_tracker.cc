@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RetentionTracker implementation.
+ */
+
+#include "retention_tracker.hh"
+
+#include <utility>
+
+#include "common/check.hh"
+
+namespace rrm::fault
+{
+
+RetentionTracker::RetentionTracker(double time_scale,
+                                   double track_max_seconds,
+                                   double slack_seconds)
+    : timeScale_(time_scale), trackMaxSeconds_(track_max_seconds),
+      slackTicks_(secondsToTicks(slack_seconds))
+{
+    RRM_CHECK(timeScale_ > 0.0, "retention tracker time scale must "
+                                "be > 0");
+    RRM_CHECK(trackMaxSeconds_ > 0.0, "retention tracking bound must "
+                                      "be > 0");
+}
+
+bool
+RetentionTracker::tracks(pcm::WriteMode mode) const
+{
+    return pcm::retentionSeconds(mode) <= trackMaxSeconds_;
+}
+
+Tick
+RetentionTracker::retentionTicks(pcm::WriteMode mode) const
+{
+    return secondsToTicks(pcm::retentionSeconds(mode) / timeScale_) +
+           slackTicks_;
+}
+
+void
+RetentionTracker::stamp(Addr block, pcm::WriteMode mode, Tick now)
+{
+    const Tick deadline = now + retentionTicks(mode);
+    deadlines_[block] = deadline;
+    heap_.push(HeapEntry{deadline, block});
+    ++stamps_;
+}
+
+void
+RetentionTracker::recordWrite(Addr block, pcm::WriteMode mode, Tick now)
+{
+    if (tracks(mode))
+        stamp(block, mode, now);
+    else
+        deadlines_.erase(block);
+}
+
+void
+RetentionTracker::recordRefresh(Addr block, pcm::WriteMode mode,
+                                Tick now)
+{
+    // A refresh rewrites the block's data, so the deadline semantics
+    // match a demand write: short-retention refreshes restart the
+    // clock, long-retention rewrites drop the obligation.
+    recordWrite(block, mode, now);
+}
+
+void
+RetentionTracker::clear(Addr block)
+{
+    deadlines_.erase(block);
+}
+
+void
+RetentionTracker::dropStaleTop()
+{
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.top();
+        auto it = deadlines_.find(top.block);
+        if (it != deadlines_.end() && it->second == top.deadline)
+            return;
+        heap_.pop();
+    }
+}
+
+std::uint64_t
+RetentionTracker::sweep(Tick now)
+{
+    std::uint64_t raised = 0;
+    for (dropStaleTop(); !heap_.empty(); dropStaleTop()) {
+        const HeapEntry top = heap_.top();
+        // A deadline met exactly at `now` is still satisfied; only
+        // strictly-late refreshes violate retention.
+        if (top.deadline >= now)
+            break;
+        heap_.pop();
+        deadlines_.erase(top.block);
+        ++violations_;
+        ++raised;
+        if (onViolation_)
+            onViolation_(top.block, top.deadline, now);
+    }
+    return raised;
+}
+
+std::optional<Tick>
+RetentionTracker::nextDeadline()
+{
+    dropStaleTop();
+    if (heap_.empty())
+        return std::nullopt;
+    return heap_.top().deadline;
+}
+
+void
+RetentionTracker::setViolationCallback(ViolationCallback cb)
+{
+    onViolation_ = std::move(cb);
+}
+
+void
+RetentionTracker::audit() const
+{
+    // Every live deadline must still be represented in the heap; the
+    // heap may additionally hold stale (superseded) entries.
+    RRM_AUDIT(heap_.size() >= deadlines_.size(),
+              "retention heap lost live deadlines");
+}
+
+} // namespace rrm::fault

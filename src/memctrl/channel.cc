@@ -273,6 +273,16 @@ Channel::writeCheck(unsigned bank_idx)
 }
 
 void
+Channel::holdRefreshes(Tick until)
+{
+    if (until <= refreshHoldUntil_)
+        return;
+    refreshHoldUntil_ = until;
+    if (!refreshQ_.empty())
+        scheduleRetry(until);
+}
+
+void
 Channel::scheduleRetry(Tick when)
 {
     if (retryPending_ && retryAt_ <= when)
@@ -327,13 +337,19 @@ Channel::trySchedule()
             writeDrainMode_ = false;
         }
 
-        // 1. RRM refreshes: highest priority, FCFS with bank skipping.
-        for (auto it = refreshQ_.begin(); it != refreshQ_.end(); ++it) {
-            if (tryIssueWrite(*it, earliest, true)) {
-                refreshQ_.erase(it);
-                issued_any = true;
-                break;
+        // 1. RRM refreshes: highest priority, FCFS with bank
+        // skipping — unless an injected stall holds refresh issue.
+        if (queue_.now() >= refreshHoldUntil_) {
+            for (auto it = refreshQ_.begin(); it != refreshQ_.end();
+                 ++it) {
+                if (tryIssueWrite(*it, earliest, true)) {
+                    refreshQ_.erase(it);
+                    issued_any = true;
+                    break;
+                }
             }
+        } else if (!refreshQ_.empty()) {
+            earliest = std::min(earliest, refreshHoldUntil_);
         }
         if (issued_any)
             continue;

@@ -62,6 +62,15 @@ class Channel : public Auditable
         return writeQ_.size() >= params_.writeQueueCap;
     }
 
+    /**
+     * Fault injection: suspend refresh issue until `until` (demand
+     * reads/writes are unaffected). Extends but never shortens an
+     * active hold; refreshes still enqueue while held.
+     */
+    void holdRefreshes(Tick until);
+
+    Tick refreshHoldUntil() const { return refreshHoldUntil_; }
+
     /** Completion hook for all requests on this channel. */
     void setCompletionHook(CompletionHook hook)
     {
@@ -175,6 +184,7 @@ class Channel : public Auditable
     std::size_t activateIdx_ = 0;
 
     bool writeDrainMode_ = false;
+    Tick refreshHoldUntil_ = 0;
 
     bool retryPending_ = false;
     Tick retryAt_ = 0;

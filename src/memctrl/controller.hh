@@ -73,6 +73,7 @@ class Controller : public Auditable
     }
 
     Channel &channel(unsigned i) { return *channels_.at(i); }
+    const Channel &channel(unsigned i) const { return *channels_.at(i); }
 
     void regStats(stats::StatGroup &group);
 

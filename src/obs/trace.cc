@@ -28,6 +28,8 @@ traceCategoryName(TraceCategory c)
         return "startgap";
       case TraceCategory::Sampler:
         return "sampler";
+      case TraceCategory::Fault:
+        return "fault";
       case TraceCategory::NumCategories:
         break;
     }

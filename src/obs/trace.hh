@@ -44,6 +44,7 @@ enum class TraceCategory : std::uint32_t
     Queue,            ///< controller queue occupancy changes
     StartGap,         ///< Start-Gap gap movements
     Sampler,          ///< sampler self-reporting
+    Fault,            ///< fault injection, violations, degradation
     NumCategories,
 };
 

@@ -113,6 +113,32 @@ class RegionMonitor : public Auditable
     /** Memory Write Mode Decision (paper Section IV-E). */
     pcm::WriteMode writeModeFor(Addr block_addr) const;
 
+    /**
+     * Refresh-pressure fallback (fault layer degradation policy).
+     * While active, every write-mode decision returns the slow mode
+     * and registrations stop accruing vector bits; entering demotes
+     * all hot entries so their existing fast blocks get a final slow
+     * rewrite instead of relying on a congested refresh path.
+     */
+    void setPressureFallback(bool active);
+
+    bool pressureFallback() const { return pressureFallback_; }
+
+    /** Demote every hot entry (slow-refreshing its vector bits). */
+    void demoteAllHot();
+
+    /**
+     * Probe consulted on each demotion: true when the refresh path is
+     * saturated, making the demotion's slow refreshes likely to queue
+     * behind a full refresh queue. Demotions under pressure are
+     * counted and traced so fallback policies are observable. Set
+     * before regStats so the stat is registered.
+     */
+    void setQueueSaturationProbe(std::function<bool()> probe)
+    {
+        saturationProbe_ = std::move(probe);
+    }
+
     /** Lookup latency to charge on the write path. */
     Tick accessLatency() const { return config_.accessLatency; }
 
@@ -191,6 +217,8 @@ class RegionMonitor : public Auditable
     std::uint64_t lruClock_ = 0;
 
     RefreshCallback refreshCallback_;
+    std::function<bool()> saturationProbe_;
+    bool pressureFallback_ = false;
     obs::TraceSink *traceSink_ = nullptr;
     obs::Profiler *profiler_ = nullptr;
     std::unique_ptr<PeriodicTask> refreshTask_;
@@ -204,6 +232,7 @@ class RegionMonitor : public Auditable
     stats::Scalar *statEvictionFlushes_ = nullptr;
     stats::Scalar *statPromotions_ = nullptr;
     stats::Scalar *statDemotions_ = nullptr;
+    stats::Scalar *statDemotionsUnderPressure_ = nullptr;
     stats::Scalar *statFastDecisions_ = nullptr;
     stats::Scalar *statSlowDecisions_ = nullptr;
     stats::Scalar *statFastRefreshes_ = nullptr;

@@ -20,6 +20,8 @@ runStatusName(RunStatus status)
         return "failed";
       case RunStatus::Cancelled:
         return "cancelled";
+      case RunStatus::TimedOut:
+        return "timed-out";
     }
     return "unknown";
 }
@@ -48,6 +50,15 @@ RunReport::cancelledCount() const
     std::size_t n = 0;
     for (const auto &r : runs)
         n += r.status == RunStatus::Cancelled;
+    return n;
+}
+
+std::size_t
+RunReport::timedOutCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : runs)
+        n += r.status == RunStatus::TimedOut;
     return n;
 }
 
@@ -102,6 +113,8 @@ RunReport::registerStats(stats::StatGroup &parent) const
         .set(static_cast<double>(failedCount()));
     g.addScalar("cancelled", "runs cancelled by --fail-fast")
         .set(static_cast<double>(cancelledCount()));
+    g.addScalar("timedOut", "runs that exceeded their timeout")
+        .set(static_cast<double>(timedOutCount()));
     g.addScalar("jobs", "worker threads used")
         .set(static_cast<double>(jobs));
     g.addScalar("wallSeconds", "host wall-clock of the whole plan")

@@ -31,9 +31,13 @@ enum class RunStatus : std::uint8_t
     Ok = 0,
     Failed,    ///< the run threw; see RunResult::error
     Cancelled, ///< never started: --fail-fast after an earlier failure
+    TimedOut,  ///< exceeded its wall-clock timeout on every attempt
 };
 
-/** Stable lower-case status name ("ok", "failed", "cancelled"). */
+/**
+ * Stable lower-case status name
+ * ("ok", "failed", "cancelled", "timed-out").
+ */
 const char *runStatusName(RunStatus status);
 
 /** One run's outcome, in the plan-order slot of its spec. */
@@ -43,13 +47,19 @@ struct RunResult
     std::string label;
     RunStatus status = RunStatus::Cancelled;
 
-    /** First line of the failure ("" unless status == Failed). */
+    /** Failure message ("" unless status is Failed / TimedOut). */
     std::string error;
 
     /** Valid only when status == Ok. */
     sys::SimResults results;
 
-    /** Host wall-clock seconds of this run (nondeterministic). */
+    /** Attempts executed (0 = never started; > 1 means retried). */
+    unsigned attempts = 0;
+
+    /**
+     * Host wall-clock seconds of this run, across all attempts
+     * (nondeterministic).
+     */
     double wallSeconds = 0.0;
 };
 
@@ -69,6 +79,7 @@ struct RunReport
     std::size_t completedCount() const;
     std::size_t failedCount() const;
     std::size_t cancelledCount() const;
+    std::size_t timedOutCount() const;
     bool allOk() const { return completedCount() == runs.size(); }
     /** @} */
 

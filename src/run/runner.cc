@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "system/system.hh"
 
 namespace rrm::run
 {
@@ -59,18 +60,32 @@ executeOne(Execution &ex, std::size_t index)
     const RunSpec &spec = ex.plan[index];
     RunResult &slot = ex.report.runs[index];
     const auto start = std::chrono::steady_clock::now();
-    try {
-        sys::System system(spec.config);
-        slot.results = system.run();
-        if (spec.postRun)
-            spec.postRun(system, slot.results);
-        slot.status = RunStatus::Ok;
-    } catch (const std::exception &e) {
-        slot.status = RunStatus::Failed;
-        slot.error = e.what();
-        if (ex.options.failFast)
-            ex.aborted.store(true, std::memory_order_relaxed);
+
+    sys::SystemConfig config = spec.config;
+    if (config.wallTimeoutSeconds == 0.0)
+        config.wallTimeoutSeconds = ex.options.timeoutSeconds;
+
+    const unsigned attempts = 1 + ex.options.retries;
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        slot.attempts = attempt;
+        try {
+            sys::System system(config);
+            slot.results = system.run();
+            if (spec.postRun)
+                spec.postRun(system, slot.results);
+            slot.status = RunStatus::Ok;
+            slot.error.clear();
+            break;
+        } catch (const sys::SimTimeoutError &e) {
+            slot.status = RunStatus::TimedOut;
+            slot.error = e.what();
+        } catch (const std::exception &e) {
+            slot.status = RunStatus::Failed;
+            slot.error = e.what();
+        }
     }
+    if (slot.status != RunStatus::Ok && ex.options.failFast)
+        ex.aborted.store(true, std::memory_order_relaxed);
     slot.wallSeconds = secondsSince(start);
 
     RunProgress progress;

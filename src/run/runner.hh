@@ -71,6 +71,23 @@ struct RunnerOptions
     bool verbose = false;
 
     /**
+     * Per-run wall-clock budget in seconds, applied to every run whose
+     * config does not already set SystemConfig::wallTimeoutSeconds.
+     * A run over budget raises SimTimeoutError between event batches
+     * and is recorded TimedOut (after exhausting retries) without
+     * stalling the rest of the plan. 0 disables the runner-level
+     * timeout.
+     */
+    double timeoutSeconds = 0.0;
+
+    /**
+     * Re-attempts after a failed or timed-out run: each run executes
+     * at most `1 + retries` times on a fresh System; the first Ok
+     * attempt wins. The final status reflects the last attempt.
+     */
+    unsigned retries = 0;
+
+    /**
      * Called after every run finishes, serialized under the runner's
      * progress lock (callbacks never overlap). Runs may finish in any
      * order under jobs > 1.

@@ -44,6 +44,10 @@ SystemConfig::validate() const
                          " (RRM settings would be silently ignored)");
     }
 
+    fault.collectErrors(errors, memory.refreshQueueCap);
+    if (wallTimeoutSeconds < 0.0)
+        errors.push_back("wall-clock timeout must be >= 0");
+
     if (!customProfiles.empty() &&
         customProfiles.size() != hierarchy.numCores) {
         errors.push_back("customProfiles must supply one profile per core");
@@ -105,9 +109,17 @@ System::System(SystemConfig config)
         wakeCores();
     });
     controller_->setCompletionHook(
-        [this](const memctrl::Request &req, Tick) {
-            if (req.kind == memctrl::ReqKind::RrmRefresh)
+        [this](const memctrl::Request &req, Tick when) {
+            if (req.kind == memctrl::ReqKind::RrmRefresh) {
+                if (faultMgr_) {
+                    faultMgr_->onRefreshCompleted(req.addr, req.mode,
+                                                  when);
+                }
                 drainRefreshOverflow();
+            } else if (req.kind == memctrl::ReqKind::Write &&
+                       faultMgr_) {
+                faultMgr_->onWriteCompleted(req.addr, req.mode, when);
+            }
         });
 
     if (config_.scheme.kind == SchemeKind::Rrm) {
@@ -117,6 +129,20 @@ System::System(SystemConfig config)
             [this](const monitor::RefreshRequest &req) {
                 onRrmRefresh(req);
             });
+    }
+
+    if (config_.fault.enabled()) {
+        faultMgr_ = std::make_unique<fault::FaultManager>(
+            config_.fault, config_.memory, config_.timeScale,
+            config_.seed, queue_, *controller_, wear_, rrm_.get());
+        faultMgr_->setRewriteCallback(
+            [this](Addr addr, pcm::WriteMode mode) {
+                retryFaultedWrite(addr, mode);
+            });
+        if (rrm_) {
+            rrm_->setQueueSaturationProbe(
+                [this] { return refreshPathSaturated(); });
+        }
     }
 
     if (config_.profileRegionWrites) {
@@ -137,6 +163,8 @@ System::System(SystemConfig config)
     controller_->regStats(statRoot_);
     if (rrm_)
         rrm_->regStats(statRoot_);
+    if (faultMgr_)
+        faultMgr_->regStats(statRoot_);
 
     auto &g = statRoot_.addChild("sys");
     statFillRefusals_ =
@@ -170,6 +198,8 @@ System::setupObservability()
         controller_->setTraceSink(traceSink_.get());
         if (rrm_)
             rrm_->setTraceSink(traceSink_.get());
+        if (faultMgr_)
+            faultMgr_->setTraceSink(traceSink_.get());
     }
 
     if (o.profiling) {
@@ -226,6 +256,15 @@ System::setupObservability()
     sampler_->addColumn("writebackBuffer", [this] {
         return static_cast<double>(writebackBuffer_.size());
     });
+    if (faultMgr_) {
+        sampler_->addColumn("retentionTracked", [this] {
+            return static_cast<double>(
+                faultMgr_->retention().trackedCount());
+        });
+        sampler_->addColumn("fallbackActive", [this] {
+            return faultMgr_->fallbackActive() ? 1.0 : 0.0;
+        });
+    }
 }
 
 void
@@ -272,8 +311,11 @@ void
 System::tryEnqueueRead(unsigned core, Addr line)
 {
     RRM_ASSERT(line < config_.memory.memoryBytes, "bad read line");
+    // The controller sees the translated (StartGap/retirement)
+    // address; the fill callback keeps the logical line.
+    const Addr phys = faultMgr_ ? faultMgr_->translate(line) : line;
     const bool ok = controller_->enqueueRead(
-        line, [this, core, line](Tick) { onReadComplete(core, line); });
+        phys, [this, core, line](Tick) { onReadComplete(core, line); });
     if (!ok) {
         // Per-channel read queue momentarily full; retry shortly.
         queue_.scheduleAfter(
@@ -317,7 +359,12 @@ System::issueMemoryWrite(Addr addr, Tick when)
         mode = config_.scheme.staticMode;
     }
 
-    wear_.recordBlockWrite(addr, pcm::WearCause::DemandWrite);
+    Addr phys = addr;
+    if (faultMgr_) {
+        phys = faultMgr_->translate(addr);
+        faultMgr_->onDemandWriteIssued(phys);
+    }
+    wear_.recordBlockWrite(phys, pcm::WearCause::DemandWrite);
     demandWriteEnergy_ += energy_.blockWriteEnergy(mode);
     if (mode == config_.rrm.fastMode && rrm_)
         ++fastWrites_;
@@ -327,11 +374,25 @@ System::issueMemoryWrite(Addr addr, Tick when)
         profiler_->recordWrite(addr, when);
 
     if (when <= queue_.now()) {
-        queueWriteback(addr, mode);
+        queueWriteback(phys, mode);
     } else {
         queue_.schedule(
-            when, [this, addr, mode] { queueWriteback(addr, mode); });
+            when, [this, phys, mode] { queueWriteback(phys, mode); });
     }
+}
+
+void
+System::retryFaultedWrite(Addr addr, pcm::WriteMode mode)
+{
+    // Rewrite of a transiently-failed write: same physical block and
+    // mode; wear, energy and write counters accrue like any write.
+    wear_.recordBlockWrite(addr, pcm::WearCause::DemandWrite);
+    demandWriteEnergy_ += energy_.blockWriteEnergy(mode);
+    if (rrm_ && mode == config_.rrm.fastMode)
+        ++fastWrites_;
+    else
+        ++slowWrites_;
+    queueWriteback(addr, mode);
 }
 
 void
@@ -367,7 +428,9 @@ System::onRrmRefresh(const monitor::RefreshRequest &req)
 {
     RRM_ASSERT(req.blockAddr < config_.memory.memoryBytes,
                "bad refresh addr");
-    wear_.recordBlockWrite(req.blockAddr, pcm::WearCause::RrmRefresh);
+    const Addr phys =
+        faultMgr_ ? faultMgr_->translate(req.blockAddr) : req.blockAddr;
+    wear_.recordBlockWrite(phys, pcm::WearCause::RrmRefresh);
     rrmRefreshEnergy_ += energy_.blockRefreshEnergy(req.mode);
     if (req.mode == config_.rrm.fastMode)
         ++rrmFastRefreshes_;
@@ -386,14 +449,24 @@ System::onRrmRefresh(const monitor::RefreshRequest &req)
         timing_visible = false;
         break;
     }
-    if (!timing_visible)
+    if (!timing_visible) {
+        // Invisible refreshes never queue, so their retention
+        // obligation is satisfied the moment they are accounted.
+        if (faultMgr_)
+            faultMgr_->onRefreshAccounted(phys, req.mode, queue_.now());
         return;
+    }
 
-    if (!controller_->enqueueRefresh(req.blockAddr, req.mode)) {
-        refreshOverflow_.push_back(
-            PendingWrite{req.blockAddr, req.mode});
+    if (!controller_->enqueueRefresh(phys, req.mode)) {
+        refreshOverflow_.push_back(PendingWrite{phys, req.mode});
         if (statRefreshOverflows_)
             ++*statRefreshOverflows_;
+        if (faultMgr_)
+            faultMgr_->onRefreshDropped(phys);
+        warn_once("sys.refreshOverflow",
+                  "refresh queue full; refresh deferred to the "
+                  "overflow queue (block ", phys, ")");
+        scheduleRefreshRetry();
     }
 }
 
@@ -410,6 +483,35 @@ System::drainRefreshOverflow()
         refreshOverflow_.pop_front();
     }
     drainingRefreshes_ = false;
+    // The refresh obligation must not wait on the next completion
+    // alone: keep a next-cycle re-attempt armed while any remains.
+    scheduleRefreshRetry();
+}
+
+void
+System::scheduleRefreshRetry()
+{
+    if (refreshRetryPending_ || refreshOverflow_.empty())
+        return;
+    refreshRetryPending_ = true;
+    queue_.scheduleAfter(config_.memory.busCycle, [this] {
+        refreshRetryPending_ = false;
+        drainRefreshOverflow();
+    });
+}
+
+bool
+System::refreshPathSaturated() const
+{
+    if (!refreshOverflow_.empty())
+        return true;
+    for (unsigned c = 0; c < controller_->numChannels(); ++c) {
+        if (controller_->channel(c).refreshQueueSize() >=
+            config_.fault.fallbackHighWatermark) {
+            return true;
+        }
+    }
+    return false;
 }
 
 void
@@ -450,6 +552,8 @@ System::runAudits()
     violations += runAudit(*controller_);
     if (rrm_)
         violations += runAudit(*rrm_);
+    if (faultMgr_)
+        violations += runAudit(*faultMgr_);
     violations += runAudit(wear_);
     if (violations && statAuditViolations_)
         *statAuditViolations_ += static_cast<double>(violations);
@@ -459,12 +563,25 @@ System::runAudits()
 void
 System::runSlice(Tick until)
 {
-    if (config_.auditEveryEvents == 0) {
+    const bool timed = config_.wallTimeoutSeconds > 0.0;
+    if (!timed && config_.auditEveryEvents == 0) {
         queue_.run(until);
         return;
     }
-    while (queue_.run(until, config_.auditEveryEvents) > 0)
-        runAudits();
+    const std::uint64_t batch = config_.auditEveryEvents != 0
+                                    ? config_.auditEveryEvents
+                                    : (std::uint64_t{1} << 20);
+    for (;;) {
+        if (timed && std::chrono::steady_clock::now() >= runDeadline_) {
+            throw SimTimeoutError(
+                "run exceeded its wall-clock timeout of " +
+                std::to_string(config_.wallTimeoutSeconds) + " s");
+        }
+        if (queue_.run(until, batch) == 0)
+            break;
+        if (config_.auditEveryEvents != 0)
+            runAudits();
+    }
 }
 
 SimResults
@@ -477,10 +594,21 @@ System::run()
     const Tick warmup_end =
         secondsToTicks(config_.windowSeconds * config_.warmupFraction);
 
+    if (config_.wallTimeoutSeconds > 0.0) {
+        runDeadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    config_.wallTimeoutSeconds));
+    }
+
     for (auto &core : cores_)
         core->start();
     if (rrm_)
         rrm_->start();
+    if (faultMgr_)
+        faultMgr_->start();
     if (sampler_)
         sampler_->start();
 
@@ -559,6 +687,31 @@ System::writeConfigJson(obs::JsonWriter &json) const
                static_cast<int>(config_.refreshTiming));
     json.field("memoryBytes", config_.memory.memoryBytes);
     json.field("auditEveryEvents", config_.auditEveryEvents);
+    if (config_.wallTimeoutSeconds > 0.0)
+        json.field("wallTimeoutSeconds", config_.wallTimeoutSeconds);
+    if (config_.fault.enabled()) {
+        json.key("fault");
+        json.beginObject();
+        json.field("retentionTracking", config_.fault.retentionTracking);
+        json.field("retentionSlackSeconds",
+                   config_.fault.retentionSlackSeconds);
+        json.field("strict", config_.fault.strict);
+        json.field("transientWriteFailureRate",
+                   config_.fault.transientWriteFailureRate);
+        json.field("maxWriteRetries", config_.fault.maxWriteRetries);
+        json.field("stuckAtWearThreshold",
+                   config_.fault.stuckAtWearThreshold);
+        json.field("stuckAtRate", config_.fault.stuckAtRate);
+        json.field("repairBudgetPerLine",
+                   config_.fault.repairBudgetPerLine);
+        json.field("spareBlocks", config_.fault.spareBlocks);
+        json.field("refreshStallSeconds",
+                   config_.fault.refreshStallSeconds);
+        json.field("fallback", config_.fault.fallback);
+        json.field("useStartGap", config_.fault.useStartGap);
+        json.field("seed", config_.fault.seed);
+        json.endObject();
+    }
     if (config_.scheme.kind == SchemeKind::Rrm) {
         json.key("rrm");
         json.beginObject();
@@ -687,6 +840,29 @@ System::collectResults(Tick measure_start, Tick measure_end)
         r.rrmDemotions = scalar("demotions");
         r.rrmEvictionFlushes = scalar("evictionFlushes");
         r.rrmHotEntriesAtEnd = rrm_->hotEntryCount();
+    }
+
+    if (faultMgr_) {
+        auto scalar = [&](const char *name) -> std::uint64_t {
+            const auto *s = dynamic_cast<const stats::Scalar *>(
+                statRoot_.find(std::string("fault.") + name));
+            return s ? static_cast<std::uint64_t>(s->value()) : 0;
+        };
+        r.fault.enabled = true;
+        r.fault.retentionStamps = scalar("retentionStamps");
+        r.fault.retentionViolations = scalar("retentionViolations");
+        r.fault.transientWriteFaults = scalar("transientWriteFaults");
+        r.fault.writeRetries = scalar("writeRetries");
+        r.fault.writesUnrecovered = scalar("writesUnrecovered");
+        r.fault.stuckAtFaults = scalar("stuckAtFaults");
+        r.fault.stuckAtRepaired = scalar("stuckAtRepaired");
+        r.fault.linesRetired = scalar("linesRetired");
+        r.fault.spareExhausted = scalar("spareExhausted");
+        r.fault.refreshDropped = scalar("refreshDropped");
+        r.fault.refreshStalls = scalar("refreshStalls");
+        r.fault.fallbackEntries = scalar("fallbackEntries");
+        r.fault.fallbackExits = scalar("fallbackExits");
+        r.fault.startGapMoves = faultMgr_->startGapMoves();
     }
 
     return r;

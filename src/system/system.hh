@@ -8,12 +8,15 @@
 #ifndef RRM_SYSTEM_SYSTEM_HH
 #define RRM_SYSTEM_SYSTEM_HH
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "cpu/core_model.hh"
+#include "fault/fault_manager.hh"
 #include "memctrl/controller.hh"
 #include "obs/obs_config.hh"
 #include "obs/profiler.hh"
@@ -29,6 +32,17 @@
 
 namespace rrm::sys
 {
+
+/**
+ * Thrown by System::run when the run exceeds its wall-clock timeout
+ * (SystemConfig::wallTimeoutSeconds). The run::Runner catches it and
+ * records the run as timed out instead of failing the whole plan.
+ */
+class SimTimeoutError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** How RRM refresh requests interact with the timing model. */
 enum class RefreshTimingMode : std::uint8_t
@@ -84,6 +98,19 @@ struct SystemConfig
 
     /** Enable the Table III region write profiler. */
     bool profileRegionWrites = false;
+
+    /**
+     * Fault-injection and graceful-degradation knobs. Disabled by
+     * default; the System then contains no FaultManager and all
+     * outputs are byte-identical to a build without the fault layer.
+     */
+    fault::FaultConfig fault;
+
+    /**
+     * Wall-clock budget for run() in seconds; exceeded budgets raise
+     * SimTimeoutError between event batches. 0 disables the check.
+     */
+    double wallTimeoutSeconds = 0.0;
 
     /**
      * Observability outputs (tracing, sampling, run record, wall-clock
@@ -158,6 +185,12 @@ class System : public cpu::CorePort
     /** The RRM (nullptr for static schemes). */
     const monitor::RegionMonitor *rrm() const { return rrm_.get(); }
 
+    /** The fault layer (nullptr unless config.fault.enabled()). */
+    const fault::FaultManager *faultManager() const
+    {
+        return faultMgr_.get();
+    }
+
     const SystemConfig &config() const { return config_; }
     const stats::StatGroup &statRoot() const { return statRoot_; }
     EventQueue &eventQueue() { return queue_; }
@@ -199,6 +232,9 @@ class System : public cpu::CorePort
     void drainWritebacks();
     void onRrmRefresh(const monitor::RefreshRequest &req);
     void drainRefreshOverflow();
+    void scheduleRefreshRetry();
+    void retryFaultedWrite(Addr addr, pcm::WriteMode mode);
+    bool refreshPathSaturated() const;
     void wakeCores();
     void resetMeasurement();
     SimResults collectResults(Tick measure_start, Tick measure_end);
@@ -210,6 +246,7 @@ class System : public cpu::CorePort
     std::unique_ptr<cache::CacheHierarchy> hierarchy_;
     std::unique_ptr<memctrl::Controller> controller_;
     std::unique_ptr<monitor::RegionMonitor> rrm_;
+    std::unique_ptr<fault::FaultManager> faultMgr_;
     std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
 
     pcm::WearTracker wear_;
@@ -238,6 +275,12 @@ class System : public cpu::CorePort
     // Re-entrancy guards for the drain loops (hooks call back in).
     bool drainingWritebacks_ = false;
     bool drainingRefreshes_ = false;
+
+    // Next-cycle re-attempt armed for the refresh overflow queue.
+    bool refreshRetryPending_ = false;
+
+    // Wall-clock deadline for run() (wallTimeoutSeconds > 0).
+    std::chrono::steady_clock::time_point runDeadline_{};
 
     // Rate-correction rotation counter.
     std::uint64_t refreshSeq_ = 0;
