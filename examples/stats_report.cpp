@@ -6,9 +6,11 @@
  * below the SimResults summary when analyzing a configuration.
  *
  * Usage: stats_report [workload] [scheme] [window_ms]
- *   scheme: rrm (default) | static-3 .. static-7
+ *   scheme: rrm (default) | adaptive-rrm | static-3 .. static-7
  */
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -22,17 +24,18 @@ namespace
 {
 
 sys::Scheme
-schemeFromName(const std::string &name)
+schemeFromName(std::string name)
 {
-    if (name == "rrm")
-        return sys::Scheme::rrmScheme();
-    if (name.rfind("static-", 0) == 0) {
-        const unsigned sets =
-            static_cast<unsigned>(std::atoi(name.c_str() + 7));
-        return sys::Scheme::staticScheme(
-            pcm::modeForSetIterations(sets));
+    // Accept the short static-N form alongside the canonical
+    // (case-insensitive) scheme names known to parseScheme.
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower.rfind("static-", 0) == 0 &&
+        lower.find("sets") == std::string::npos) {
+        name += "-SETs";
     }
-    fatal("unknown scheme '", name, "' (want rrm or static-N)");
+    return sys::parseScheme(name);
 }
 
 } // namespace

@@ -32,9 +32,9 @@ FaultManager::FaultManager(const FaultConfig &config,
                            EventQueue &queue,
                            memctrl::Controller &controller,
                            pcm::WearTracker &wear,
-                           monitor::RegionMonitor *rrm)
+                           policy::WritePolicy *policy)
     : config_(config), timeScale_(time_scale), queue_(queue),
-      controller_(controller), wear_(wear), rrm_(rrm),
+      controller_(controller), wear_(wear), policy_(policy),
       addressMap_(memory), numChannels_(memory.numChannels),
       blockBytes_(memory.blockBytes),
       injector_(config.transientWriteFailureRate, config.stuckAtRate,
@@ -84,7 +84,8 @@ FaultManager::start()
             queue_, period, queue_.now() + period,
             [this] { injectRefreshStall(); });
     }
-    if (config_.fallback && rrm_) {
+    if (config_.fallback && policy_ &&
+        policy_->supportsPressureFallback()) {
         const Tick period =
             secondsToTicks(config_.fallbackPollSeconds);
         governorTask_ = std::make_unique<PeriodicTask>(
@@ -316,7 +317,7 @@ FaultManager::enterFallback(std::size_t deepest_queue)
     bump(statFallbackEntries_);
     RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Fault,
               "fallbackEnter", RRM_TF("refreshQueue", deepest_queue));
-    rrm_->setPressureFallback(true);
+    policy_->setPressureFallback(true);
 }
 
 void
@@ -326,7 +327,7 @@ FaultManager::exitFallback(std::size_t deepest_queue)
     bump(statFallbackExits_);
     RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Fault,
               "fallbackExit", RRM_TF("refreshQueue", deepest_queue));
-    rrm_->setPressureFallback(false);
+    policy_->setPressureFallback(false);
 }
 
 void
@@ -413,8 +414,9 @@ FaultManager::audit() const
     }
     RRM_AUDIT(retirement_.retiredCount() <= retirement_.spareCapacity(),
               "more lines retired than spares exist");
-    RRM_AUDIT(!fallbackActive_ || rrm_ != nullptr,
-              "fallback active without an RRM to demote");
+    RRM_AUDIT(!fallbackActive_ ||
+                  (policy_ && policy_->supportsPressureFallback()),
+              "fallback active without a policy able to demote");
 }
 
 } // namespace rrm::fault

@@ -32,7 +32,7 @@
 #include "memctrl/start_gap.hh"
 #include "obs/trace.hh"
 #include "pcm/wear_tracker.hh"
-#include "rrm/region_monitor.hh"
+#include "policy/write_policy.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
@@ -50,7 +50,7 @@ class FaultManager : public Auditable
                  std::uint64_t system_seed, EventQueue &queue,
                  memctrl::Controller &controller,
                  pcm::WearTracker &wear,
-                 monitor::RegionMonitor *rrm);
+                 policy::WritePolicy *policy);
     ~FaultManager() override;
 
     FaultManager(const FaultManager &) = delete;
@@ -110,7 +110,7 @@ class FaultManager : public Auditable
     EventQueue &queue_;
     memctrl::Controller &controller_;
     pcm::WearTracker &wear_;
-    monitor::RegionMonitor *rrm_;
+    policy::WritePolicy *policy_;
     memctrl::AddressMap addressMap_;
     unsigned numChannels_;
     std::uint64_t blockBytes_;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Configuration of the adaptive RRM write policy's feedback law.
+ */
+
+#ifndef RRM_POLICY_ADAPTIVE_CONFIG_HH
+#define RRM_POLICY_ADAPTIVE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace rrm::policy
+{
+
+/**
+ * Feedback-law knobs for AdaptiveRrmPolicy. Once per decay epoch the
+ * policy reads two signals and re-points the RegionMonitor's
+ * hot_threshold:
+ *
+ *  - *pressure*: refresh-path occupancy in [0, 1] (deepest refresh
+ *    queue's fill fraction; 1.0 once refreshes have overflowed).
+ *    pressure >= pressureHigh doubles the threshold — an emergency
+ *    brake that sheds selective-refresh load when the refresh path
+ *    saturates.
+ *  - *reuse*: the fraction of the epoch's registrations that landed
+ *    in an already-hot region. Very high hot reuse (>= reuseHigh)
+ *    means the hot set is mature: most writes are already fast, and
+ *    the marginal promotions mostly add refresh obligation without
+ *    adding coverage, so the threshold doubles to trim them. Very low
+ *    hot reuse (< reuseLow) marks a streaming phase whose promotions
+ *    will not stay hot; it raises the decay floor to 2x the base
+ *    threshold. In the mid band (reuse in [reuseLow, reuseDecay))
+ *    with a drained refresh path the threshold halves back toward
+ *    the floor.
+ *
+ * The threshold always stays within [base, base * maxThresholdMultiple].
+ */
+struct AdaptiveRrmConfig
+{
+    /** Pressure at or above which the threshold doubles. */
+    double pressureHigh = 0.5;
+
+    /** Pressure at or below which the threshold may decay (halve). */
+    double pressureLow = 0.125;
+
+    /** Hot-reuse fraction at or above which the threshold doubles. */
+    double reuseHigh = 0.53;
+
+    /**
+     * Hot-reuse fraction below which decay is permitted. The gap up
+     * to reuseHigh is hysteresis: a threshold raised because the hot
+     * set matured is not unwound the moment hot reuse dips, which
+     * would oscillate between two thresholds every other epoch.
+     */
+    double reuseDecay = 0.30;
+
+    /** Hot-reuse fraction below which the epoch counts as streaming. */
+    double reuseLow = 0.12;
+
+    /** Threshold ceiling as a multiple of the configured base. */
+    unsigned maxThresholdMultiple = 4;
+
+    /** Append one message per violated constraint. */
+    void
+    collectErrors(std::vector<std::string> &errors) const
+    {
+        if (pressureHigh <= 0.0 || pressureHigh > 1.0)
+            errors.push_back("adaptive pressureHigh must be in (0, 1]");
+        if (pressureLow < 0.0 || pressureLow >= pressureHigh) {
+            errors.push_back(
+                "adaptive pressureLow must be in [0, pressureHigh)");
+        }
+        if (reuseHigh <= 0.0 || reuseHigh > 1.0)
+            errors.push_back("adaptive reuseHigh must be in (0, 1]");
+        if (reuseDecay < 0.0 || reuseDecay >= reuseHigh) {
+            errors.push_back(
+                "adaptive reuseDecay must be in [0, reuseHigh)");
+        }
+        if (reuseLow < 0.0 || reuseLow > reuseDecay) {
+            errors.push_back(
+                "adaptive reuseLow must be in [0, reuseDecay]");
+        }
+        if (maxThresholdMultiple < 2) {
+            errors.push_back(
+                "adaptive maxThresholdMultiple must be >= 2");
+        }
+    }
+};
+
+} // namespace rrm::policy
+
+#endif // RRM_POLICY_ADAPTIVE_CONFIG_HH

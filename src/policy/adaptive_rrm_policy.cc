@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AdaptiveRrmPolicy implementation.
+ */
+
+#include "adaptive_rrm_policy.hh"
+
+#include <algorithm>
+
+namespace rrm::policy
+{
+
+AdaptiveRrmPolicy::AdaptiveRrmPolicy(const monitor::RrmConfig &config,
+                                     const AdaptiveRrmConfig &adaptive,
+                                     EventQueue &queue)
+    : RrmPolicy(config, queue),
+      adaptive_(adaptive),
+      baseThreshold_(config.hotThreshold)
+{
+    monitor_->setDecayEpochHook([this] { onDecayEpoch(); });
+}
+
+void
+AdaptiveRrmPolicy::regStats(stats::StatGroup &root)
+{
+    RrmPolicy::regStats(root);
+    auto &g = root.addChild("policy");
+    statRaises_ = &g.addScalar(
+        "thresholdRaises", "hot-threshold raises by the feedback law");
+    statDecays_ = &g.addScalar(
+        "thresholdDecays", "hot-threshold decays by the feedback law");
+    g.addFormula("hotThreshold", "current adapted hot threshold",
+                 [this] {
+                     return static_cast<double>(
+                         monitor_->hotThreshold());
+                 });
+}
+
+void
+AdaptiveRrmPolicy::writeConfigJson(obs::JsonWriter &json) const
+{
+    RrmPolicy::writeConfigJson(json);
+    json.key("adaptive");
+    json.beginObject();
+    json.field("pressureHigh", adaptive_.pressureHigh);
+    json.field("pressureLow", adaptive_.pressureLow);
+    json.field("reuseHigh", adaptive_.reuseHigh);
+    json.field("reuseDecay", adaptive_.reuseDecay);
+    json.field("reuseLow", adaptive_.reuseLow);
+    json.field("maxThresholdMultiple", adaptive_.maxThresholdMultiple);
+    json.field("baseHotThreshold", baseThreshold_);
+    json.endObject();
+}
+
+void
+AdaptiveRrmPolicy::onDecayEpoch()
+{
+    const double pressure = pressureProbe_ ? pressureProbe_() : 0.0;
+
+    const std::uint64_t lookups = monitor_->registrationLookups();
+    const std::uint64_t hot_hits = monitor_->registrationHotHits();
+    const std::uint64_t d_lookups = lookups - lastLookups_;
+    const std::uint64_t d_hot = hot_hits - lastHotHits_;
+    lastLookups_ = lookups;
+    lastHotHits_ = hot_hits;
+    // Hot reuse: share of this epoch's registrations that landed in
+    // an already-hot region. An idle epoch carries no evidence.
+    const double reuse = d_lookups != 0
+                             ? static_cast<double>(d_hot) /
+                                   static_cast<double>(d_lookups)
+                             : 0.0;
+    const bool active = d_lookups != 0;
+
+    const unsigned cap = baseThreshold_ * adaptive_.maxThresholdMultiple;
+    const unsigned floor = active && reuse < adaptive_.reuseLow
+                               ? std::min(cap, baseThreshold_ * 2)
+                               : baseThreshold_;
+
+    const unsigned current = monitor_->hotThreshold();
+    unsigned next = current;
+    if (pressure >= adaptive_.pressureHigh ||
+        (active && reuse >= adaptive_.reuseHigh)) {
+        // Saturated refresh path, or a mature hot set whose marginal
+        // promotions add obligation without adding coverage.
+        next = std::min(cap, current * 2);
+    } else if (pressure <= adaptive_.pressureLow &&
+               (!active || reuse < adaptive_.reuseDecay) &&
+               current > floor) {
+        next = std::max(floor, current / 2);
+    }
+    next = std::max(next, floor);
+
+    if (next == current)
+        return;
+    if (next > current) {
+        if (statRaises_)
+            ++*statRaises_;
+    } else if (statDecays_) {
+        ++*statDecays_;
+    }
+    monitor_->setHotThreshold(next);
+}
+
+} // namespace rrm::policy

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The RRM write policy: the paper's hybrid scheme, expressed as a
+ * WritePolicy that owns a RegionMonitor and delegates every decision
+ * to it. Behaviour is byte-frozen by tests/test_policy_golden —
+ * this class adds no logic of its own, only the policy-interface
+ * adaptation (and the "rrm" config block formerly emitted by the
+ * System).
+ */
+
+#ifndef RRM_POLICY_RRM_POLICY_HH
+#define RRM_POLICY_RRM_POLICY_HH
+
+#include <memory>
+
+#include "policy/write_policy.hh"
+
+namespace rrm::policy
+{
+
+/** Region Retention Monitor hybrid (paper Section IV). */
+class RrmPolicy : public WritePolicy
+{
+  public:
+    /** @param config Validated RRM configuration (timeScale set). */
+    RrmPolicy(const monitor::RrmConfig &config, EventQueue &queue);
+    ~RrmPolicy() override;
+
+    std::string_view kindName() const override { return "rrm"; }
+
+    void start() override { monitor_->start(); }
+    void stop() override { monitor_->stop(); }
+
+    pcm::WriteMode
+    writeModeFor(Addr block_addr) const override
+    {
+        return monitor_->writeModeFor(block_addr);
+    }
+
+    Tick accessLatency() const override
+    {
+        return monitor_->accessLatency();
+    }
+
+    bool
+    isFastMode(pcm::WriteMode mode) const override
+    {
+        return mode == config_.fastMode;
+    }
+
+    void
+    registerLlcWrite(Addr addr, bool was_dirty) override
+    {
+        monitor_->registerLlcWrite(addr, was_dirty);
+    }
+
+    void setRefreshCallback(RefreshCallback cb) override
+    {
+        monitor_->setRefreshCallback(std::move(cb));
+    }
+
+    bool supportsPressureFallback() const override { return true; }
+
+    void setPressureFallback(bool active) override
+    {
+        monitor_->setPressureFallback(active);
+    }
+
+    bool pressureFallback() const override
+    {
+        return monitor_->pressureFallback();
+    }
+
+    void setQueueSaturationProbe(SaturationProbe probe) override
+    {
+        monitor_->setQueueSaturationProbe(std::move(probe));
+    }
+
+    void regStats(stats::StatGroup &root) override
+    {
+        monitor_->regStats(root);
+    }
+
+    void setTraceSink(obs::TraceSink *sink) override
+    {
+        monitor_->setTraceSink(sink);
+    }
+
+    void setProfiler(obs::Profiler *profiler) override
+    {
+        monitor_->setProfiler(profiler);
+    }
+
+    /** One settled decay epoch per sample row. */
+    Tick preferredSampleInterval() const override
+    {
+        return config_.decayTickInterval();
+    }
+
+    void writeConfigJson(obs::JsonWriter &json) const override;
+
+    const monitor::RegionMonitor *monitor() const override
+    {
+        return monitor_.get();
+    }
+
+  protected:
+    /** As-configured copy: immune to runtime threshold adaptation. */
+    monitor::RrmConfig config_;
+    std::unique_ptr<monitor::RegionMonitor> monitor_;
+};
+
+} // namespace rrm::policy
+
+#endif // RRM_POLICY_RRM_POLICY_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * WritePolicy out-of-line anchor.
+ */
+
+#include "write_policy.hh"
+
+namespace rrm::policy
+{
+
+WritePolicy::~WritePolicy() = default;
+
+} // namespace rrm::policy

@@ -134,8 +134,12 @@ RegionMonitor::registerLlcWrite(Addr addr, bool was_dirty)
     }
 
     const std::uint64_t region_id = regionIdOf(addr);
+    ++registrationLookups_;
     Entry *entry = find(region_id);
     if (entry) {
+        ++registrationHits_;
+        if (entry->hot)
+            ++registrationHotHits_;
         if (statRegHits_)
             ++*statRegHits_;
     } else {
@@ -278,6 +282,40 @@ RegionMonitor::onDecayTick()
             } else {
                 demote(entry, false);
             }
+        }
+    }
+    if (decayEpochHook_)
+        decayEpochHook_();
+}
+
+void
+RegionMonitor::setHotThreshold(unsigned threshold)
+{
+    RRM_ASSERT(threshold > 0, "hot_threshold must be positive");
+    if (threshold == config_.hotThreshold)
+        return;
+    RRM_TRACE(traceSink_, queue_.now(),
+              obs::TraceCategory::RrmLifecycle, "hotThreshold",
+              RRM_TF("from", config_.hotThreshold),
+              RRM_TF("to", threshold));
+    config_.hotThreshold = threshold;
+    for (auto &e : entries_) {
+        if (!e.valid)
+            continue;
+        if (e.dirtyWriteCounter > threshold)
+            e.dirtyWriteCounter = threshold;
+        if (e.hot && e.dirtyWriteCounter < threshold / 2) {
+            // The bar rose past this entry: its fast-written blocks
+            // get a final slow rewrite, like any demotion.
+            demote(e, false);
+        } else if (!e.hot && e.dirtyWriteCounter >= threshold) {
+            e.hot = true;
+            if (statPromotions_)
+                ++*statPromotions_;
+            RRM_TRACE(traceSink_, queue_.now(),
+                      obs::TraceCategory::RrmLifecycle, "promote",
+                      RRM_TF("region", e.regionId),
+                      RRM_TF("counter", e.dirtyWriteCounter));
         }
     }
 }

@@ -127,6 +127,46 @@ class RegionMonitor : public Auditable
     /** Demote every hot entry (slow-refreshing its vector bits). */
     void demoteAllHot();
 
+    /** The current promotion threshold (runtime-adjustable). */
+    unsigned hotThreshold() const { return config_.hotThreshold; }
+
+    /**
+     * Re-point the promotion threshold at runtime (the adaptive
+     * write policy's actuator). Entry state is reconciled so every
+     * audited invariant holds under the new threshold:
+     *  - dirty_write_counters are clamped to the new threshold;
+     *  - raising the bar demotes hot entries whose counter no longer
+     *    reaches half the threshold (their fast-written blocks get a
+     *    final slow rewrite, like any demotion);
+     *  - lowering it promotes entries whose counter already meets it.
+     * Never called by the legacy RRM scheme, whose behaviour is
+     * byte-frozen by the policy golden tests.
+     */
+    void setHotThreshold(unsigned threshold);
+
+    /**
+     * Hook invoked after every decay tick (the adaptive policy's
+     * feedback cadence). Null clears.
+     */
+    void setDecayEpochHook(std::function<void()> hook)
+    {
+        decayEpochHook_ = std::move(hook);
+    }
+
+    /** @{ Registration flow counters (post-filter lookups and hits);
+     * plain counters so policies can read deltas without stats. */
+    std::uint64_t registrationLookups() const
+    {
+        return registrationLookups_;
+    }
+    std::uint64_t registrationHits() const { return registrationHits_; }
+    /** Lookups that landed in an already-hot entry (region reuse). */
+    std::uint64_t registrationHotHits() const
+    {
+        return registrationHotHits_;
+    }
+    /** @} */
+
     /**
      * Probe consulted on each demotion: true when the refresh path is
      * saturated, making the demotion's slow refreshes likely to queue
@@ -217,6 +257,10 @@ class RegionMonitor : public Auditable
     std::uint64_t lruClock_ = 0;
 
     RefreshCallback refreshCallback_;
+    std::function<void()> decayEpochHook_;
+    std::uint64_t registrationLookups_ = 0;
+    std::uint64_t registrationHits_ = 0;
+    std::uint64_t registrationHotHits_ = 0;
     std::function<bool()> saturationProbe_;
     bool pressureFallback_ = false;
     obs::TraceSink *traceSink_ = nullptr;

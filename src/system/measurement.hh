@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-window measurement accumulators, split out of the System so
+ * the event-path code and the results collection share one small
+ * struct instead of a scatter of System members.
+ */
+
+#ifndef RRM_SYSTEM_MEASUREMENT_HH
+#define RRM_SYSTEM_MEASUREMENT_HH
+
+#include <cstdint>
+
+namespace rrm::sys
+{
+
+/**
+ * Everything the measurement window accumulates outside the stats
+ * tree: energies (Joules) and the raw operation counts the lifetime
+ * and power models consume. reset() starts a fresh window (called
+ * once, after warmup).
+ */
+struct Measurement
+{
+    double readEnergy = 0.0;
+    double demandWriteEnergy = 0.0;
+    double refreshEnergy = 0.0;
+
+    std::uint64_t memReads = 0;
+    std::uint64_t fastWrites = 0;
+    std::uint64_t slowWrites = 0;
+    std::uint64_t fastRefreshes = 0;
+    std::uint64_t slowRefreshes = 0;
+
+    std::uint64_t demandWrites() const { return fastWrites + slowWrites; }
+
+    std::uint64_t refreshWrites() const
+    {
+        return fastRefreshes + slowRefreshes;
+    }
+
+    void reset() { *this = Measurement{}; }
+};
+
+} // namespace rrm::sys
+
+#endif // RRM_SYSTEM_MEASUREMENT_HH

@@ -1,24 +1,90 @@
 /**
  * @file
- * Canonical scheme naming and the name -> scheme round-trip.
+ * Canonical scheme naming, the name -> scheme round-trip, and the
+ * scheme -> write-policy factory.
  */
 
 #include "scheme.hh"
 
+#include <cctype>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "policy/adaptive_rrm_policy.hh"
+#include "policy/static_policy.hh"
+#include "rrm/rrm_config.hh"
 
 namespace rrm::sys
 {
 
+namespace
+{
+
+/** Case-insensitive ASCII string equality. */
+bool
+equalsIgnoreCase(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
 std::string
 Scheme::name() const
 {
-    if (kind == SchemeKind::Rrm)
+    switch (kind) {
+      case SchemeKind::Rrm:
         return "RRM";
+      case SchemeKind::AdaptiveRrm:
+        return "Adaptive-RRM";
+      case SchemeKind::Static:
+        break;
+    }
     return "Static-" +
            std::to_string(pcm::setIterations(staticMode)) + "-SETs";
+}
+
+std::unique_ptr<policy::WritePolicy>
+Scheme::makePolicy(const monitor::RrmConfig &rrm,
+                   const policy::AdaptiveRrmConfig &adaptive,
+                   EventQueue &queue) const
+{
+    switch (kind) {
+      case SchemeKind::Static:
+        return std::make_unique<policy::StaticPolicy>(staticMode);
+      case SchemeKind::Rrm:
+        return std::make_unique<policy::RrmPolicy>(rrm, queue);
+      case SchemeKind::AdaptiveRrm:
+        return std::make_unique<policy::AdaptiveRrmPolicy>(rrm, adaptive,
+                                                           queue);
+    }
+    fatal("scheme has corrupt kind ", static_cast<int>(kind));
+}
+
+void
+Scheme::collectConfigErrors(const monitor::RrmConfig &rrm,
+                            const policy::AdaptiveRrmConfig &adaptive,
+                            double time_scale,
+                            std::vector<std::string> &errors) const
+{
+    if (usesMonitor()) {
+        monitor::RrmConfig effective = rrm;
+        effective.timeScale = time_scale >= 1.0 ? time_scale : 1.0;
+        effective.collectErrors(errors);
+        if (kind == SchemeKind::AdaptiveRrm)
+            adaptive.collectErrors(errors);
+    } else if (rrm.isCustomized()) {
+        errors.push_back("RRM configured but the scheme is " + name() +
+                         " (RRM settings would be silently ignored)");
+    }
 }
 
 bool
@@ -26,18 +92,18 @@ operator==(const Scheme &a, const Scheme &b)
 {
     if (a.kind != b.kind)
         return false;
-    return a.kind == SchemeKind::Rrm || a.staticMode == b.staticMode;
+    return a.kind != SchemeKind::Static || a.staticMode == b.staticMode;
 }
 
 Scheme
 parseScheme(const std::string &name)
 {
-    for (const Scheme &s : allPaperSchemes()) {
-        if (s.name() == name)
+    for (const Scheme &s : allSchemes()) {
+        if (equalsIgnoreCase(s.name(), name))
             return s;
     }
     std::ostringstream valid;
-    for (const Scheme &s : allPaperSchemes())
+    for (const Scheme &s : allSchemes())
         valid << (valid.tellp() > 0 ? ", " : "") << s.name();
     fatal("unknown scheme '", name, "' (valid: ", valid.str(), ")");
 }
@@ -51,6 +117,14 @@ allPaperSchemes()
         v.push_back(Scheme::staticScheme(*it));
     }
     v.push_back(Scheme::rrmScheme());
+    return v;
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    auto v = allPaperSchemes();
+    v.push_back(Scheme::adaptiveRrmScheme());
     return v;
 }
 

@@ -34,15 +34,7 @@ SystemConfig::validate() const
     if (warmupFraction < 0.0 || warmupFraction >= 1.0)
         errors.push_back("warmup fraction must be in [0, 1)");
 
-    if (scheme.kind == SchemeKind::Rrm) {
-        monitor::RrmConfig effective = rrm;
-        effective.timeScale = timeScale >= 1.0 ? timeScale : 1.0;
-        effective.collectErrors(errors);
-    } else if (rrm.isCustomized()) {
-        errors.push_back("RRM configured but the scheme is " +
-                         scheme.name() +
-                         " (RRM settings would be silently ignored)");
-    }
+    scheme.collectConfigErrors(rrm, adaptive, timeScale, errors);
 
     fault.collectErrors(errors, memory.refreshQueueCap);
     if (wallTimeoutSeconds < 0.0)
@@ -103,9 +95,12 @@ System::System(SystemConfig config)
         std::make_unique<cache::CacheHierarchy>(config_.hierarchy);
     controller_ =
         std::make_unique<memctrl::Controller>(config_.memory, queue_);
+    writePath_ = std::make_unique<WritePath>(
+        *controller_, queue_, config_.writebackBufferCap,
+        config_.memory.busCycle);
 
     controller_->setWriteIssuedHook([this] {
-        drainWritebacks();
+        writePath_->drainWritebacks();
         wakeCores();
     });
     controller_->setCompletionHook(
@@ -115,32 +110,33 @@ System::System(SystemConfig config)
                     faultMgr_->onRefreshCompleted(req.addr, req.mode,
                                                   when);
                 }
-                drainRefreshOverflow();
+                writePath_->drainRefreshOverflow();
             } else if (req.kind == memctrl::ReqKind::Write &&
                        faultMgr_) {
                 faultMgr_->onWriteCompleted(req.addr, req.mode, when);
             }
         });
 
-    if (config_.scheme.kind == SchemeKind::Rrm) {
-        rrm_ = std::make_unique<monitor::RegionMonitor>(config_.rrm,
-                                                        queue_);
-        rrm_->setRefreshCallback(
-            [this](const monitor::RefreshRequest &req) {
-                onRrmRefresh(req);
-            });
-    }
+    policy_ =
+        config_.scheme.makePolicy(config_.rrm, config_.adaptive, queue_);
+    policy_->setRefreshCallback(
+        [this](const monitor::RefreshRequest &req) {
+            onPolicyRefresh(req);
+        });
+    policy_->setPressureProbe([this] { return refreshPressure(); });
 
     if (config_.fault.enabled()) {
         faultMgr_ = std::make_unique<fault::FaultManager>(
             config_.fault, config_.memory, config_.timeScale,
-            config_.seed, queue_, *controller_, wear_, rrm_.get());
+            config_.seed, queue_, *controller_, wear_, policy_.get());
         faultMgr_->setRewriteCallback(
             [this](Addr addr, pcm::WriteMode mode) {
                 retryFaultedWrite(addr, mode);
             });
-        if (rrm_) {
-            rrm_->setQueueSaturationProbe(
+        writePath_->setRefreshDroppedCallback(
+            [this](Addr addr) { faultMgr_->onRefreshDropped(addr); });
+        if (policy_->supportsPressureFallback()) {
+            policy_->setQueueSaturationProbe(
                 [this] { return refreshPathSaturated(); });
         }
     }
@@ -161,18 +157,14 @@ System::System(SystemConfig config)
 
     hierarchy_->regStats(statRoot_);
     controller_->regStats(statRoot_);
-    if (rrm_)
-        rrm_->regStats(statRoot_);
+    policy_->regStats(statRoot_);
     if (faultMgr_)
         faultMgr_->regStats(statRoot_);
 
     auto &g = statRoot_.addChild("sys");
     statFillRefusals_ =
         &g.addScalar("fillRefusals", "fills refused by backpressure");
-    statWritebackBlocked_ = &g.addScalar(
-        "writebackBlocked", "times the writeback buffer filled");
-    statRefreshOverflows_ = &g.addScalar(
-        "refreshOverflows", "RRM refreshes that found a full queue");
+    writePath_->regStats(g);
     statAuditRounds_ =
         &g.addScalar("auditRounds", "deep-audit rounds executed");
     statAuditViolations_ = &g.addScalar(
@@ -196,16 +188,14 @@ System::setupObservability()
         traceSink_->setWriter(
             obs::openTraceFile(o.traceFile, o.traceText));
         controller_->setTraceSink(traceSink_.get());
-        if (rrm_)
-            rrm_->setTraceSink(traceSink_.get());
+        policy_->setTraceSink(traceSink_.get());
         if (faultMgr_)
             faultMgr_->setTraceSink(traceSink_.get());
     }
 
     if (o.profiling) {
         selfProfiler_ = std::make_unique<obs::Profiler>();
-        if (rrm_)
-            rrm_->setProfiler(selfProfiler_.get());
+        policy_->setProfiler(selfProfiler_.get());
     }
 
     const bool want_sampling = o.sampleIntervalSeconds != 0.0 ||
@@ -214,30 +204,34 @@ System::setupObservability()
     if (!want_sampling)
         return;
 
-    // Negative (and the 0-but-file-requested case) selects the RRM
-    // decay-tick cadence, so every sample row observes exactly one
-    // settled decay epoch; static schemes fall back to the paper's
-    // native 0.125 s tick compressed by the time scale.
+    // Negative (and the 0-but-file-requested case) selects the
+    // policy's preferred cadence (the RRM decay tick, so every sample
+    // row observes exactly one settled decay epoch); policies without
+    // one fall back to the paper's native 0.125 s tick compressed by
+    // the time scale.
     Tick interval;
     if (o.sampleIntervalSeconds > 0.0) {
         interval = secondsToTicks(o.sampleIntervalSeconds);
-    } else if (rrm_) {
-        interval = config_.rrm.decayTickInterval();
     } else {
-        interval = secondsToTicks(0.125 / config_.timeScale);
+        interval = policy_->preferredSampleInterval();
+        if (interval == 0)
+            interval = secondsToTicks(0.125 / config_.timeScale);
     }
     sampler_ = std::make_unique<obs::Sampler>(queue_, interval);
     sampler_->setTraceSink(traceSink_.get());
 
     sampler_->addColumn("hotEntries", [this] {
-        return rrm_ ? static_cast<double>(rrm_->hotEntryCount()) : 0.0;
+        const auto *mon = policy_->monitor();
+        return mon ? static_cast<double>(mon->hotEntryCount()) : 0.0;
     });
     sampler_->addColumn("validEntries", [this] {
-        return rrm_ ? static_cast<double>(rrm_->validEntryCount()) : 0.0;
+        const auto *mon = policy_->monitor();
+        return mon ? static_cast<double>(mon->validEntryCount()) : 0.0;
     });
     sampler_->addColumn("shortRetentionBlocks", [this] {
-        return rrm_
-                   ? static_cast<double>(rrm_->shortRetentionBlockCount())
+        const auto *mon = policy_->monitor();
+        return mon
+                   ? static_cast<double>(mon->shortRetentionBlockCount())
                    : 0.0;
     });
     sampler_->addStat(statRoot_, "rrm.fastWrites");
@@ -254,7 +248,7 @@ System::setupObservability()
         return static_cast<double>(controller_->totalRefreshQueue());
     });
     sampler_->addColumn("writebackBuffer", [this] {
-        return static_cast<double>(writebackBuffer_.size());
+        return static_cast<double>(writePath_->writebackDepth());
     });
     if (faultMgr_) {
         sampler_->addColumn("retentionTracked", [this] {
@@ -292,7 +286,7 @@ System::requestFill(unsigned core, Addr line, bool is_write, Tick when)
 {
     (void)is_write;
     if (outstandingFills_ >= hierarchy_->llcMshrs() ||
-        writebackBuffer_.size() >= config_.writebackBufferCap) {
+        writePath_->writebackFull()) {
         if (statFillRefusals_)
             ++*statFillRefusals_;
         return false;
@@ -326,8 +320,8 @@ System::tryEnqueueRead(unsigned core, Addr line)
 void
 System::onReadComplete(unsigned core, Addr line)
 {
-    ++memReads_;
-    readEnergy_ += energy_.blockReadEnergy();
+    ++meas_.memReads;
+    meas_.readEnergy += energy_.blockReadEnergy();
     cores_[core]->onFillComplete(line);
     RRM_ASSERT(outstandingFills_ > 0, "fill accounting underflow");
     --outstandingFills_;
@@ -339,9 +333,9 @@ System::handleAccessEvents(unsigned core,
                            const cache::HierarchyEvents &ev, Tick when)
 {
     (void)core;
-    if (ev.registration && rrm_) {
-        rrm_->registerLlcWrite(ev.registrationAddr,
-                               ev.registrationWasDirty);
+    if (ev.registration) {
+        policy_->registerLlcWrite(ev.registrationAddr,
+                                  ev.registrationWasDirty);
     }
     if (ev.memWrite)
         issueMemoryWrite(ev.memWriteAddr, when);
@@ -351,13 +345,8 @@ void
 System::issueMemoryWrite(Addr addr, Tick when)
 {
     RRM_ASSERT(addr < config_.memory.memoryBytes, "bad write addr");
-    pcm::WriteMode mode;
-    if (rrm_) {
-        mode = rrm_->writeModeFor(addr);
-        when += rrm_->accessLatency();
-    } else {
-        mode = config_.scheme.staticMode;
-    }
+    const pcm::WriteMode mode = policy_->writeModeFor(addr);
+    when += policy_->accessLatency();
 
     Addr phys = addr;
     if (faultMgr_) {
@@ -365,19 +354,20 @@ System::issueMemoryWrite(Addr addr, Tick when)
         faultMgr_->onDemandWriteIssued(phys);
     }
     wear_.recordBlockWrite(phys, pcm::WearCause::DemandWrite);
-    demandWriteEnergy_ += energy_.blockWriteEnergy(mode);
-    if (mode == config_.rrm.fastMode && rrm_)
-        ++fastWrites_;
+    meas_.demandWriteEnergy += energy_.blockWriteEnergy(mode);
+    if (policy_->isFastMode(mode))
+        ++meas_.fastWrites;
     else
-        ++slowWrites_;
+        ++meas_.slowWrites;
     if (profiler_)
         profiler_->recordWrite(addr, when);
 
     if (when <= queue_.now()) {
-        queueWriteback(phys, mode);
+        writePath_->queueWriteback(phys, mode);
     } else {
-        queue_.schedule(
-            when, [this, phys, mode] { queueWriteback(phys, mode); });
+        queue_.schedule(when, [this, phys, mode] {
+            writePath_->queueWriteback(phys, mode);
+        });
     }
 }
 
@@ -387,55 +377,27 @@ System::retryFaultedWrite(Addr addr, pcm::WriteMode mode)
     // Rewrite of a transiently-failed write: same physical block and
     // mode; wear, energy and write counters accrue like any write.
     wear_.recordBlockWrite(addr, pcm::WearCause::DemandWrite);
-    demandWriteEnergy_ += energy_.blockWriteEnergy(mode);
-    if (rrm_ && mode == config_.rrm.fastMode)
-        ++fastWrites_;
+    meas_.demandWriteEnergy += energy_.blockWriteEnergy(mode);
+    if (policy_->isFastMode(mode))
+        ++meas_.fastWrites;
     else
-        ++slowWrites_;
-    queueWriteback(addr, mode);
+        ++meas_.slowWrites;
+    writePath_->queueWriteback(addr, mode);
 }
 
 void
-System::queueWriteback(Addr addr, pcm::WriteMode mode)
-{
-    writebackBuffer_.push_back(PendingWrite{addr, mode});
-    if (writebackBuffer_.size() >= config_.writebackBufferCap &&
-        statWritebackBlocked_) {
-        ++*statWritebackBlocked_;
-    }
-    drainWritebacks();
-}
-
-void
-System::drainWritebacks()
-{
-    // Guard re-entrancy: enqueueWrite can issue a write synchronously,
-    // which fires the write-issued hook, which calls back into here.
-    if (drainingWritebacks_)
-        return;
-    drainingWritebacks_ = true;
-    while (!writebackBuffer_.empty()) {
-        const PendingWrite w = writebackBuffer_.front();
-        if (!controller_->enqueueWrite(w.addr, w.mode))
-            break;
-        writebackBuffer_.pop_front();
-    }
-    drainingWritebacks_ = false;
-}
-
-void
-System::onRrmRefresh(const monitor::RefreshRequest &req)
+System::onPolicyRefresh(const monitor::RefreshRequest &req)
 {
     RRM_ASSERT(req.blockAddr < config_.memory.memoryBytes,
                "bad refresh addr");
     const Addr phys =
         faultMgr_ ? faultMgr_->translate(req.blockAddr) : req.blockAddr;
     wear_.recordBlockWrite(phys, pcm::WearCause::RrmRefresh);
-    rrmRefreshEnergy_ += energy_.blockRefreshEnergy(req.mode);
-    if (req.mode == config_.rrm.fastMode)
-        ++rrmFastRefreshes_;
+    meas_.refreshEnergy += energy_.blockRefreshEnergy(req.mode);
+    if (policy_->isFastMode(req.mode))
+        ++meas_.fastRefreshes;
     else
-        ++rrmSlowRefreshes_;
+        ++meas_.slowRefreshes;
 
     bool timing_visible = false;
     switch (config_.refreshTiming) {
@@ -457,53 +419,13 @@ System::onRrmRefresh(const monitor::RefreshRequest &req)
         return;
     }
 
-    if (!controller_->enqueueRefresh(phys, req.mode)) {
-        refreshOverflow_.push_back(PendingWrite{phys, req.mode});
-        if (statRefreshOverflows_)
-            ++*statRefreshOverflows_;
-        if (faultMgr_)
-            faultMgr_->onRefreshDropped(phys);
-        warn_once("sys.refreshOverflow",
-                  "refresh queue full; refresh deferred to the "
-                  "overflow queue (block ", phys, ")");
-        scheduleRefreshRetry();
-    }
-}
-
-void
-System::drainRefreshOverflow()
-{
-    if (drainingRefreshes_)
-        return;
-    drainingRefreshes_ = true;
-    while (!refreshOverflow_.empty()) {
-        const PendingWrite r = refreshOverflow_.front();
-        if (!controller_->enqueueRefresh(r.addr, r.mode))
-            break;
-        refreshOverflow_.pop_front();
-    }
-    drainingRefreshes_ = false;
-    // The refresh obligation must not wait on the next completion
-    // alone: keep a next-cycle re-attempt armed while any remains.
-    scheduleRefreshRetry();
-}
-
-void
-System::scheduleRefreshRetry()
-{
-    if (refreshRetryPending_ || refreshOverflow_.empty())
-        return;
-    refreshRetryPending_ = true;
-    queue_.scheduleAfter(config_.memory.busCycle, [this] {
-        refreshRetryPending_ = false;
-        drainRefreshOverflow();
-    });
+    writePath_->submitRefresh(phys, req.mode);
 }
 
 bool
 System::refreshPathSaturated() const
 {
-    if (!refreshOverflow_.empty())
+    if (writePath_->refreshOverflowPending())
         return true;
     for (unsigned c = 0; c < controller_->numChannels(); ++c) {
         if (controller_->channel(c).refreshQueueSize() >=
@@ -514,11 +436,25 @@ System::refreshPathSaturated() const
     return false;
 }
 
+double
+System::refreshPressure() const
+{
+    if (writePath_->refreshOverflowPending())
+        return 1.0;
+    std::size_t deepest = 0;
+    for (unsigned c = 0; c < controller_->numChannels(); ++c) {
+        deepest = std::max(deepest,
+                           controller_->channel(c).refreshQueueSize());
+    }
+    return static_cast<double>(deepest) /
+           static_cast<double>(config_.memory.refreshQueueCap);
+}
+
 void
 System::wakeCores()
 {
     if (outstandingFills_ >= hierarchy_->llcMshrs() ||
-        writebackBuffer_.size() >= config_.writebackBufferCap) {
+        writePath_->writebackFull()) {
         return;
     }
     for (auto &core : cores_)
@@ -530,10 +466,7 @@ System::resetMeasurement()
 {
     statRoot_.reset();
     wear_.reset();
-    readEnergy_ = demandWriteEnergy_ = rrmRefreshEnergy_ = 0.0;
-    memReads_ = 0;
-    fastWrites_ = slowWrites_ = 0;
-    rrmFastRefreshes_ = rrmSlowRefreshes_ = 0;
+    meas_.reset();
     for (auto &core : cores_)
         core->resetInstructionCount();
     if (profiler_)
@@ -550,8 +483,9 @@ System::runAudits()
     violations += runAudit(queue_);
     violations += runAudit(*hierarchy_);
     violations += runAudit(*controller_);
-    if (rrm_)
-        violations += runAudit(*rrm_);
+    violations += runAudit(*writePath_);
+    if (const auto *mon = policy_->monitor())
+        violations += runAudit(*mon);
     if (faultMgr_)
         violations += runAudit(*faultMgr_);
     violations += runAudit(wear_);
@@ -605,8 +539,7 @@ System::run()
 
     for (auto &core : cores_)
         core->start();
-    if (rrm_)
-        rrm_->start();
+    policy_->start();
     if (faultMgr_)
         faultMgr_->start();
     if (sampler_)
@@ -712,26 +645,7 @@ System::writeConfigJson(obs::JsonWriter &json) const
         json.field("seed", config_.fault.seed);
         json.endObject();
     }
-    if (config_.scheme.kind == SchemeKind::Rrm) {
-        json.key("rrm");
-        json.beginObject();
-        json.field("regionBytes", config_.rrm.regionBytes);
-        json.field("blockBytes", config_.rrm.blockBytes);
-        json.field("numSets", config_.rrm.numSets);
-        json.field("assoc", config_.rrm.assoc);
-        json.field("hotThreshold", config_.rrm.hotThreshold);
-        json.field("dirtyWriteFilter", config_.rrm.dirtyWriteFilter);
-        json.field("fastSets",
-                   pcm::setIterations(config_.rrm.fastMode));
-        json.field("slowSets",
-                   pcm::setIterations(config_.rrm.slowMode));
-        json.field("shortRetentionIntervalTicks",
-                   config_.rrm.shortRetentionInterval());
-        json.field("decayTickIntervalTicks",
-                   config_.rrm.decayTickInterval());
-        json.field("storageBytes", config_.rrm.storageBytes());
-        json.endObject();
-    }
+    policy_->writeConfigJson(json);
     json.endObject();
 }
 
@@ -795,16 +709,16 @@ System::collectResults(Tick measure_start, Tick measure_end)
                  static_cast<double>(r.totalInstructions);
     }
 
-    r.memReads = memReads_;
-    r.fastWrites = fastWrites_;
-    r.slowWrites = slowWrites_;
-    r.demandWrites = fastWrites_ + slowWrites_;
-    r.rrmFastRefreshes = rrmFastRefreshes_;
-    r.rrmSlowRefreshes = rrmSlowRefreshes_;
+    r.memReads = meas_.memReads;
+    r.fastWrites = meas_.fastWrites;
+    r.slowWrites = meas_.slowWrites;
+    r.demandWrites = meas_.demandWrites();
+    r.rrmFastRefreshes = meas_.fastRefreshes;
+    r.rrmSlowRefreshes = meas_.slowRefreshes;
 
     pcm::WearMeasurement wm;
     wm.demandWrites = r.demandWrites;
-    wm.rrmRefreshWrites = rrmFastRefreshes_ + rrmSlowRefreshes_;
+    wm.rrmRefreshWrites = meas_.refreshWrites();
     wm.windowSeconds = window;
     wm.timeScale = config_.timeScale;
     wm.globalRefreshMode = config_.scheme.globalRefreshMode();
@@ -817,15 +731,15 @@ System::collectResults(Tick measure_start, Tick measure_end)
     r.globalRefreshRate = lifetime.globalRefreshRate(wm);
     r.lifetimeYears = lifetime.lifetimeYears(wm);
 
-    r.readPower = readEnergy_ / window;
-    r.demandWritePower = demandWriteEnergy_ / window;
+    r.readPower = meas_.readEnergy / window;
+    r.demandWritePower = meas_.demandWriteEnergy / window;
     r.rrmRefreshPower =
-        rrmRefreshEnergy_ / (window * config_.timeScale);
+        meas_.refreshEnergy / (window * config_.timeScale);
     r.globalRefreshPower =
         r.globalRefreshRate *
         energy_.blockRefreshEnergy(*wm.globalRefreshMode);
 
-    if (rrm_) {
+    if (const auto *mon = policy_->monitor()) {
         auto scalar = [&](const char *name) -> std::uint64_t {
             const auto *s = dynamic_cast<const stats::Scalar *>(
                 statRoot_.find(std::string("rrm.") + name));
@@ -839,7 +753,7 @@ System::collectResults(Tick measure_start, Tick measure_end)
         r.rrmPromotions = scalar("promotions");
         r.rrmDemotions = scalar("demotions");
         r.rrmEvictionFlushes = scalar("evictionFlushes");
-        r.rrmHotEntriesAtEnd = rrm_->hotEntryCount();
+        r.rrmHotEntriesAtEnd = mon->hotEntryCount();
     }
 
     if (faultMgr_) {

@@ -1,15 +1,20 @@
 /**
  * @file
- * Full-system assembly: cores + caches + (optional) RRM + PCM memory
- * controller, plus the measurement machinery that turns one run into
- * a SimResults record.
+ * Full-system assembly: cores + caches + the scheme's write policy +
+ * PCM memory controller, plus the measurement machinery that turns
+ * one run into a SimResults record.
+ *
+ * The System is deliberately thin: per-write decisions live behind
+ * policy::WritePolicy (built by Scheme::makePolicy), staging-queue
+ * mechanics live in WritePath, and window accumulators live in
+ * Measurement. The System wires them together and runs the event
+ * loop.
  */
 
 #ifndef RRM_SYSTEM_SYSTEM_HH
 #define RRM_SYSTEM_SYSTEM_HH
 
 #include <chrono>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -24,10 +29,13 @@
 #include "pcm/energy_model.hh"
 #include "pcm/lifetime_model.hh"
 #include "pcm/wear_tracker.hh"
-#include "rrm/region_monitor.hh"
+#include "policy/adaptive_config.hh"
+#include "policy/write_policy.hh"
+#include "system/measurement.hh"
 #include "system/region_profiler.hh"
 #include "system/results.hh"
 #include "system/scheme.hh"
+#include "system/write_path.hh"
 #include "trace/workload.hh"
 
 namespace rrm::sys
@@ -71,7 +79,10 @@ struct SystemConfig
     cpu::CoreParams core;
     cache::HierarchyConfig hierarchy = cache::defaultHierarchyConfig();
     memctrl::MemoryParams memory;
-    monitor::RrmConfig rrm; ///< used only when scheme.kind == Rrm
+    monitor::RrmConfig rrm; ///< used only when scheme.usesMonitor()
+
+    /** Feedback-law knobs; used only by the Adaptive-RRM scheme. */
+    policy::AdaptiveRrmConfig adaptive;
 
     /**
      * Retention-interval compression (DESIGN.md section 3). 50 with
@@ -121,10 +132,10 @@ struct SystemConfig
     /**
      * Deep-audit cadence: after every `auditEveryEvents` executed
      * events, run the audit() of every Auditable component (event
-     * queue, cache hierarchy, memory controller, RRM, wear tracker).
-     * 0 disables periodic audits. Violations follow the global
-     * check::FailurePolicy and are exported via the "checks" and
-     * "sys.audit*" stats.
+     * queue, cache hierarchy, memory controller, RRM, write path,
+     * wear tracker). 0 disables periodic audits. Violations follow
+     * the global check::FailurePolicy and are exported via the
+     * "checks" and "sys.audit*" stats.
      */
     std::uint64_t auditEveryEvents = 0;
 
@@ -182,8 +193,17 @@ class System : public cpu::CorePort
         return profiler_.get();
     }
 
-    /** The RRM (nullptr for static schemes). */
-    const monitor::RegionMonitor *rrm() const { return rrm_.get(); }
+    /** The scheme's write policy (always present). */
+    const policy::WritePolicy &writePolicy() const { return *policy_; }
+
+    /** The policy's RRM (nullptr for monitor-less policies). */
+    const monitor::RegionMonitor *rrm() const
+    {
+        return policy_->monitor();
+    }
+
+    /** The staging queues between LLC/policy and the controller. */
+    const WritePath &writePath() const { return *writePath_; }
 
     /** The fault layer (nullptr unless config.fault.enabled()). */
     const fault::FaultManager *faultManager() const
@@ -228,13 +248,10 @@ class System : public cpu::CorePort
     void tryEnqueueRead(unsigned core, Addr line);
     void onReadComplete(unsigned core, Addr line);
     void issueMemoryWrite(Addr addr, Tick when);
-    void queueWriteback(Addr addr, pcm::WriteMode mode);
-    void drainWritebacks();
-    void onRrmRefresh(const monitor::RefreshRequest &req);
-    void drainRefreshOverflow();
-    void scheduleRefreshRetry();
+    void onPolicyRefresh(const monitor::RefreshRequest &req);
     void retryFaultedWrite(Addr addr, pcm::WriteMode mode);
     bool refreshPathSaturated() const;
+    double refreshPressure() const;
     void wakeCores();
     void resetMeasurement();
     SimResults collectResults(Tick measure_start, Tick measure_end);
@@ -245,7 +262,8 @@ class System : public cpu::CorePort
 
     std::unique_ptr<cache::CacheHierarchy> hierarchy_;
     std::unique_ptr<memctrl::Controller> controller_;
-    std::unique_ptr<monitor::RegionMonitor> rrm_;
+    std::unique_ptr<WritePath> writePath_;
+    std::unique_ptr<policy::WritePolicy> policy_;
     std::unique_ptr<fault::FaultManager> faultMgr_;
     std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
 
@@ -261,24 +279,6 @@ class System : public cpu::CorePort
     // Global fill (LLC MSHR) accounting.
     unsigned outstandingFills_ = 0;
 
-    // Writeback buffer between LLC and the controller write queues.
-    struct PendingWrite
-    {
-        Addr addr;
-        pcm::WriteMode mode;
-    };
-    std::deque<PendingWrite> writebackBuffer_;
-
-    // RRM refresh requests that found their queue full.
-    std::deque<PendingWrite> refreshOverflow_;
-
-    // Re-entrancy guards for the drain loops (hooks call back in).
-    bool drainingWritebacks_ = false;
-    bool drainingRefreshes_ = false;
-
-    // Next-cycle re-attempt armed for the refresh overflow queue.
-    bool refreshRetryPending_ = false;
-
     // Wall-clock deadline for run() (wallTimeoutSeconds > 0).
     std::chrono::steady_clock::time_point runDeadline_{};
 
@@ -287,18 +287,9 @@ class System : public cpu::CorePort
     std::uint64_t timeScaleInt_ = 1;
 
     // Measurement accumulators (reset after warmup).
-    double readEnergy_ = 0.0;
-    double demandWriteEnergy_ = 0.0;
-    double rrmRefreshEnergy_ = 0.0;
-    std::uint64_t memReads_ = 0;
-    std::uint64_t fastWrites_ = 0;
-    std::uint64_t slowWrites_ = 0;
-    std::uint64_t rrmFastRefreshes_ = 0;
-    std::uint64_t rrmSlowRefreshes_ = 0;
+    Measurement meas_;
 
     stats::Scalar *statFillRefusals_ = nullptr;
-    stats::Scalar *statWritebackBlocked_ = nullptr;
-    stats::Scalar *statRefreshOverflows_ = nullptr;
     stats::Scalar *statAuditRounds_ = nullptr;
     stats::Scalar *statAuditViolations_ = nullptr;
 };

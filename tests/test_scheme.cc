@@ -19,6 +19,7 @@ TEST(Scheme, StaticNames)
     EXPECT_EQ(Scheme::staticScheme(pcm::WriteMode::Sets3).name(),
               "Static-3-SETs");
     EXPECT_EQ(Scheme::rrmScheme().name(), "RRM");
+    EXPECT_EQ(Scheme::adaptiveRrmScheme().name(), "Adaptive-RRM");
 }
 
 TEST(Scheme, GlobalRefreshModeFollowsScheme)
@@ -26,8 +27,10 @@ TEST(Scheme, GlobalRefreshModeFollowsScheme)
     EXPECT_EQ(Scheme::staticScheme(pcm::WriteMode::Sets4)
                   .globalRefreshMode(),
               pcm::WriteMode::Sets4);
-    // The RRM scheme global-refreshes with slow (7-SETs) writes.
+    // The RRM schemes global-refresh with slow (7-SETs) writes.
     EXPECT_EQ(Scheme::rrmScheme().globalRefreshMode(),
+              pcm::WriteMode::Sets7);
+    EXPECT_EQ(Scheme::adaptiveRrmScheme().globalRefreshMode(),
               pcm::WriteMode::Sets7);
 }
 
@@ -51,17 +54,45 @@ TEST(Scheme, StaticSchemesExcludeRrm)
         EXPECT_EQ(s.kind, SchemeKind::Static);
 }
 
-TEST(Scheme, ParseSchemeRoundTripsEveryPaperScheme)
+TEST(Scheme, AllSchemesAppendAdaptiveRrm)
 {
-    for (const Scheme &s : allPaperSchemes())
+    const auto all = allSchemes();
+    ASSERT_EQ(all.size(), allPaperSchemes().size() + 1);
+    EXPECT_EQ(all.back().name(), "Adaptive-RRM");
+}
+
+TEST(Scheme, ParseSchemeRoundTripsEveryScheme)
+{
+    for (const Scheme &s : allSchemes())
         EXPECT_EQ(parseScheme(s.name()), s);
+}
+
+TEST(Scheme, ParseSchemeIgnoresCase)
+{
+    EXPECT_EQ(parseScheme("rrm"), Scheme::rrmScheme());
+    EXPECT_EQ(parseScheme("adaptive-rrm"), Scheme::adaptiveRrmScheme());
+    EXPECT_EQ(parseScheme("STATIC-5-sets"),
+              Scheme::staticScheme(pcm::WriteMode::Sets5));
 }
 
 TEST(Scheme, ParseSchemeRejectsUnknownNames)
 {
     EXPECT_THROW(parseScheme("Static-8-SETs"), FatalError);
-    EXPECT_THROW(parseScheme("rrm"), FatalError);
     EXPECT_THROW(parseScheme(""), FatalError);
+}
+
+TEST(Scheme, ParseSchemeErrorListsEveryValidName)
+{
+    try {
+        parseScheme("nonsense");
+        FAIL() << "parseScheme accepted an unknown name";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        for (const Scheme &s : allSchemes()) {
+            EXPECT_NE(msg.find(s.name()), std::string::npos)
+                << "error message misses valid name " << s.name();
+        }
+    }
 }
 
 TEST(Scheme, EqualityIgnoresStaticModeForRrm)
