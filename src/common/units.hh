@@ -37,6 +37,25 @@ constexpr Tick tickPerMs = 1000 * tickPerUs;
 constexpr Tick tickPerSec = 1000 * tickPerMs;
 /** @} */
 
+/**
+ * Convert a cycle count in some clock domain into ticks, given that
+ * domain's period. The named helper is the sanctioned way to cross the
+ * Cycles -> Tick boundary (rrm-lint units-raw-mix flags raw mixing).
+ */
+constexpr Tick
+cyclesToTicks(Cycles cycles, Tick period)
+{
+    // rrm-lint: allow(units-raw-mix) this is the conversion helper
+    return static_cast<Tick>(cycles) * period;
+}
+
+/** Whole cycles of `period` elapsed after `ticks` (truncating). */
+constexpr Cycles
+ticksToCycles(Tick ticks, Tick period)
+{
+    return static_cast<Cycles>(ticks / period);
+}
+
 /** Convert a floating point number of seconds into ticks (rounded). */
 constexpr Tick
 secondsToTicks(double seconds)

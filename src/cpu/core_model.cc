@@ -46,6 +46,8 @@ std::uint64_t
 CoreModel::oldestOutstandingLoad() const
 {
     std::uint64_t oldest = ~std::uint64_t(0);
+    // rrm-lint: allow(det-unordered-iter) min-reduction is order
+    // independent; outstanding_ sits on the per-miss hot path
     for (const auto &[line, fill] : outstanding_) {
         if (!fill.loadInstrs.empty() && fill.loadInstrs.front() < oldest)
             oldest = fill.loadInstrs.front();
@@ -151,9 +153,11 @@ CoreModel::advance()
             // complete through the store buffer.
             if (!is_write) {
                 if (ev.hitLevel == 2) {
-                    localTime_ += params_.l2HitPenalty * params_.cycle;
+                    localTime_ += cyclesToTicks(params_.l2HitPenalty,
+                                                params_.cycle);
                 } else if (ev.hitLevel == 3) {
-                    localTime_ += params_.llcHitPenalty * params_.cycle;
+                    localTime_ += cyclesToTicks(params_.llcHitPenalty,
+                                                params_.cycle);
                 }
             }
             if (ev.registration || ev.memWrite)

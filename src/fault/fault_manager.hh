@@ -18,8 +18,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "common/auditable.hh"
 #include "common/units.hh"
@@ -124,11 +124,12 @@ class FaultManager : public Auditable
     obs::TraceSink *traceSink_ = nullptr;
     RewriteCallback rewrite_;
 
-    /** Outstanding rewrite attempts per faulted block. */
-    std::unordered_map<Addr, unsigned> retryAttempts_;
+    /** Outstanding rewrite attempts per faulted block. Ordered:
+     *  audits and any future export iterate deterministically. */
+    std::map<Addr, unsigned> retryAttempts_;
 
     /** Last wear-threshold multiple checked per wear region. */
-    std::unordered_map<std::uint64_t, std::uint64_t> wearLevel_;
+    std::map<std::uint64_t, std::uint64_t> wearLevel_;
 
     /** One pending event for the earliest retention deadline. */
     EventQueue::EventId sweepEvent_ = 0;

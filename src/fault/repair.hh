@@ -8,7 +8,7 @@
 #define RRM_FAULT_REPAIR_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "common/units.hh"
 
@@ -54,7 +54,8 @@ class EcpRepair
 
   private:
     unsigned budget_;
-    std::unordered_map<Addr, unsigned> used_;
+    /** Ordered: audit diagnostics walk lines in address order. */
+    std::map<Addr, unsigned> used_;
 };
 
 /**
@@ -109,7 +110,9 @@ class LineRetirement
     std::uint64_t spareBlocks_;
     Addr spareBase_;
     std::uint64_t nextSpare_ = 0;
-    std::unordered_map<Addr, Addr> map_;
+    /** Ordered: remap chains and audits resolve in address order,
+     *  independent of retirement arrival order. */
+    std::map<Addr, Addr> map_;
 };
 
 } // namespace rrm::fault

@@ -54,7 +54,8 @@ struct MemoryParams
     Tick
     burstTime() const
     {
-        return busCycle * (blockBytes / busWidthBytes);
+        const Cycles busBeats = blockBytes / busWidthBytes;
+        return cyclesToTicks(busBeats, busCycle);
     }
 };
 

@@ -11,6 +11,16 @@
 namespace rrm::obs
 {
 
+std::int64_t
+wallClockSeconds()
+{
+    if (const char *epoch = std::getenv("SOURCE_DATE_EPOCH"))
+        return static_cast<std::int64_t>(std::atoll(epoch));
+    // rrm-lint: allow(det-wall-clock) the single sanctioned wall-clock
+    // read; SOURCE_DATE_EPOCH above overrides it for reproducible runs
+    return static_cast<std::int64_t>(std::time(nullptr));
+}
+
 RunMetadata
 currentRunMetadata()
 {
@@ -20,12 +30,7 @@ currentRunMetadata()
 #else
     meta.gitDescribe = "unknown";
 #endif
-    // SOURCE_DATE_EPOCH (the reproducible-builds convention) pins the
-    // timestamp so identical runs emit byte-identical records — the
-    // determinism tests and CI diff jobs rely on it.
-    std::time_t now = std::time(nullptr);
-    if (const char *epoch = std::getenv("SOURCE_DATE_EPOCH"))
-        now = static_cast<std::time_t>(std::atoll(epoch));
+    const auto now = static_cast<std::time_t>(wallClockSeconds());
     std::tm tm_utc{};
     if (gmtime_r(&now, &tm_utc)) {
         char buf[32];

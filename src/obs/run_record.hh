@@ -9,12 +9,26 @@
 #ifndef RRM_OBS_RUN_RECORD_HH
 #define RRM_OBS_RUN_RECORD_HH
 
+#include <cstdint>
 #include <string>
 
 #include "obs/json.hh"
 
 namespace rrm::obs
 {
+
+/**
+ * Seconds since the Unix epoch, honoring SOURCE_DATE_EPOCH (the
+ * reproducible-builds convention): when that variable is set its value
+ * is returned instead of the host clock, so identical runs emit
+ * byte-identical records.
+ *
+ * This is the simulator's ONLY sanctioned wall-clock read — rrm-lint's
+ * det-wall-clock rule flags every other call site. Anything needing
+ * "now" as a date must come through here so determinism harnesses can
+ * pin it from the environment.
+ */
+std::int64_t wallClockSeconds();
 
 /** Schema version stamped into every exported run record. */
 constexpr int runRecordSchemaVersion = 1;

@@ -145,6 +145,8 @@ EventQueue::audit() const
                       parent.id, " and ", e.id);
         }
     }
+    // rrm-lint: allow(det-unordered-iter) audit-only per-element check,
+    // order independent; cancelled_ is hot (every cancel/dispatch)
     for (const EventId id : cancelled_) {
         RRM_AUDIT(id < nextId_, "cancelled id ", id,
                   " was never issued (nextId=", nextId_, ")");

@@ -14,7 +14,7 @@
 #define RRM_SYSTEM_REGION_PROFILER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -95,7 +95,9 @@ class RegionWriteProfiler
     std::uint64_t totalRegions_;
     std::vector<std::uint64_t> boundaries_;
     BoundedHistogram intervalHist_;
-    std::unordered_map<std::uint64_t, RegionInfo> regions_;
+    /** Ordered so every reduction that reaches exported Table III
+     *  rows iterates in region-index order (rrm-lint determinism). */
+    std::map<std::uint64_t, RegionInfo> regions_;
     std::uint64_t totalWrites_ = 0;
 };
 

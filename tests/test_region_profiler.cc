@@ -102,6 +102,45 @@ TEST(RegionProfiler, HotFractionOfEmptyProfilerIsZero)
     EXPECT_DOUBLE_EQ(p.hotRegionFraction(0.9), 0.0);
 }
 
+TEST(RegionProfiler, AggregatesInvariantUnderRegionInterleaving)
+{
+    // Determinism pin for the rrm-lint det-unordered-iter cleanup:
+    // the profiler's exported aggregates (Table III rows, hot-region
+    // concentration, written-once counts) must not depend on the
+    // order distinct regions appear in the write stream. Two streams
+    // with identical per-region timing but opposite region
+    // interleaving must export identical numbers.
+    auto a = makeProfiler();
+    auto b = makeProfiler();
+    const int regions = 8;
+    for (int w = 0; w < 6; ++w) {
+        for (int r = 0; r < regions; ++r) {
+            const Tick t = static_cast<Tick>(100 * w + r);
+            a.recordWrite(static_cast<Addr>(r) * 4096, t);
+        }
+        for (int r = regions - 1; r >= 0; --r) {
+            const Tick t = static_cast<Tick>(100 * w + r);
+            b.recordWrite(static_cast<Addr>(r) * 4096, t);
+        }
+    }
+    EXPECT_EQ(a.totalWrites(), b.totalWrites());
+    EXPECT_EQ(a.writtenRegions(), b.writtenRegions());
+    EXPECT_EQ(a.writtenOnceRegions(), b.writtenOnceRegions());
+    EXPECT_DOUBLE_EQ(a.hotRegionFraction(0.9),
+                     b.hotRegionFraction(0.9));
+    const auto ba = a.regionsByMeanInterval();
+    const auto bb = b.regionsByMeanInterval();
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        EXPECT_EQ(ba[i].regions, bb[i].regions) << i;
+        EXPECT_EQ(ba[i].writes, bb[i].writes) << i;
+    }
+    for (std::size_t i = 0; i < a.intervalHistogram().numBuckets();
+         ++i)
+        EXPECT_EQ(a.intervalHistogram().count(i),
+                  b.intervalHistogram().count(i));
+}
+
 TEST(RegionProfiler, ResetClearsState)
 {
     auto p = makeProfiler();

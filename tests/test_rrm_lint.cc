@@ -1,0 +1,147 @@
+/**
+ * @file
+ * rrm-lint analyzer tests.
+ *
+ * Two layers of coverage:
+ *  - the fixture tree (tools/rrm-lint/fixtures) seeds one violation
+ *    per rule, plus suppression-mechanics cases; the tests assert the
+ *    exact (file, line, rule) tuples so a rule regression or a line
+ *    drift in a fixture fails loudly;
+ *  - the repository itself must lint clean: zero unsuppressed
+ *    violations (the PR-gating acceptance criterion, enforced here as
+ *    a plain ctest in addition to the CI lint job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+using rrm::lint::Diagnostic;
+using Key = std::tuple<std::string, int, std::string>;
+
+std::vector<Diagnostic>
+lintFixtures()
+{
+    rrm::lint::Config config = rrm::lint::defaultConfig();
+    rrm::lint::loadTraceCategories(RRM_LINT_FIXTURES, config);
+    return rrm::lint::lintTree(RRM_LINT_FIXTURES, config);
+}
+
+std::set<Key>
+keys(const std::vector<Diagnostic> &diags, bool suppressed)
+{
+    std::set<Key> out;
+    for (const Diagnostic &d : diags)
+        if (d.suppressed == suppressed)
+            out.insert({d.file, d.line, d.rule});
+    return out;
+}
+
+} // namespace
+
+TEST(RrmLint, FixtureTreeReportsExactRuleIdsAndLines)
+{
+    const auto diags = lintFixtures();
+    const std::set<Key> expected{
+        {"src/common/units_mix.cc", 8, "units-raw-mix"},
+        {"src/common/units_mix.cc", 9, "units-raw-mix"},
+        {"src/cpu/scheme_branch.cc", 3, "layer-upward-include"},
+        {"src/cpu/scheme_branch.cc", 8, "layer-scheme-dispatch"},
+        {"src/obs/det_seams.cc", 11, "det-wall-clock"},
+        {"src/obs/det_seams.cc", 17, "det-random"},
+        {"src/obs/det_seams.cc", 22, "det-pointer-key"},
+        {"src/pcm/suppressed_bad.cc", 13, "lint-missing-reason"},
+        {"src/pcm/suppressed_bad.cc", 14, "det-unordered-iter"},
+        {"src/pcm/suppressed_bad.cc", 16, "lint-unknown-rule"},
+        {"src/rrm/stats_hygiene.cc", 9, "stats-register-once"},
+        {"src/rrm/stats_hygiene.cc", 10, "stats-register-once"},
+        {"src/rrm/stats_hygiene.cc", 14, "stats-formula-operand"},
+        {"src/rrm/stats_hygiene.cc", 16, "stats-trace-category"},
+        {"src/rrm/stats_hygiene.hh", 14, "stats-register-once"},
+        {"src/sim/det_unordered.cc", 14, "det-unordered-iter"},
+        {"src/sim/det_unordered.cc", 22, "det-unordered-iter"},
+        {"src/sim/upward_include.cc", 4, "layer-upward-include"},
+    };
+    EXPECT_EQ(keys(diags, /*suppressed=*/false), expected);
+}
+
+TEST(RrmLint, EveryRuleInTheCatalogFiresOnTheFixtures)
+{
+    const auto diags = lintFixtures();
+    std::set<std::string> fired;
+    for (const Diagnostic &d : diags)
+        fired.insert(d.rule);
+    for (const auto &[rule, desc] : rrm::lint::ruleCatalog())
+        EXPECT_TRUE(fired.count(rule))
+            << "rule '" << rule << "' has no fixture coverage";
+}
+
+TEST(RrmLint, ValidSuppressionRecordsFindingWithoutCountingIt)
+{
+    const auto diags = lintFixtures();
+    const std::set<Key> expected{
+        {"src/pcm/suppressed_ok.cc", 14, "det-unordered-iter"},
+    };
+    EXPECT_EQ(keys(diags, /*suppressed=*/true), expected);
+    const auto it = std::find_if(
+        diags.begin(), diags.end(),
+        [](const Diagnostic &d) { return d.suppressed; });
+    ASSERT_NE(it, diags.end());
+    EXPECT_EQ(it->suppressReason, "sum is order independent");
+}
+
+TEST(RrmLint, ReasonlessAllowDoesNotSuppress)
+{
+    const auto diags = lintFixtures();
+    const auto unsup = keys(diags, /*suppressed=*/false);
+    // The allow() at suppressed_bad.cc:13 has no reason, so the
+    // violation on line 14 must still count.
+    EXPECT_TRUE(unsup.count(
+        {"src/pcm/suppressed_bad.cc", 14, "det-unordered-iter"}));
+}
+
+TEST(RrmLint, OutputIsDeterministic)
+{
+    const auto a = lintFixtures();
+    const auto b = lintFixtures();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(rrm::lint::formatDiagnostic(a[i]),
+                  rrm::lint::formatDiagnostic(b[i]));
+    EXPECT_EQ(rrm::lint::diagnosticsToJson(a),
+              rrm::lint::diagnosticsToJson(b));
+}
+
+TEST(RrmLint, RepositoryLintsCleanWithJustifiedSuppressions)
+{
+    rrm::lint::Config config = rrm::lint::defaultConfig();
+    rrm::lint::loadTraceCategories(RRM_LINT_SOURCE_DIR, config);
+    const auto diags =
+        rrm::lint::lintTree(RRM_LINT_SOURCE_DIR, config);
+    const auto sum = rrm::lint::summarize(diags);
+    for (const Diagnostic &d : diags) {
+        EXPECT_TRUE(d.suppressed) << rrm::lint::formatDiagnostic(d);
+        if (d.suppressed) {
+            EXPECT_FALSE(d.suppressReason.empty());
+        }
+    }
+    EXPECT_EQ(sum.unsuppressed, 0u);
+}
+
+TEST(RrmLint, CatalogDescribesEveryRule)
+{
+    for (const auto &[rule, desc] : rrm::lint::ruleCatalog()) {
+        EXPECT_FALSE(desc.empty()) << rule;
+        EXPECT_NE(rule.find('-'), std::string::npos)
+            << "rule ids are kebab-case family-prefixed: " << rule;
+    }
+}

@@ -51,6 +51,7 @@ TEST(Scheme, StaticSchemesExcludeRrm)
     const auto stat = staticSchemes();
     ASSERT_EQ(stat.size(), 5u);
     for (const auto &s : stat)
+        // rrm-lint: allow(layer-scheme-dispatch) factory metadata test
         EXPECT_EQ(s.kind, SchemeKind::Static);
 }
 

@@ -1,0 +1,9 @@
+// Seeds layer-scheme-dispatch: branching on SchemeKind outside the
+// policy factory.
+#include "system/scheme.hh"
+
+bool
+isHybrid(rrm::sys::SchemeKind kind)
+{
+    return kind == rrm::sys::SchemeKind::Rrm; // line 8
+}

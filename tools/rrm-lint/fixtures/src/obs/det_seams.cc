@@ -1,0 +1,23 @@
+// Seeds det-wall-clock, det-random, det-pointer-key.
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Record
+{
+    long
+    stampNow()
+    {
+        return static_cast<long>(std::time(nullptr)); // line 11
+    }
+
+    int
+    jitter()
+    {
+        std::random_device rd; // line 17
+        return static_cast<int>(rd());
+    }
+
+    // Pointer-keyed map: iteration order tracks allocation addresses.
+    std::map<Record *, int> byOwner_; // line 22
+};

@@ -1,0 +1,19 @@
+// Suppression mechanics gone wrong: a reason-less allow() (which must
+// NOT suppress the finding) and an allow() naming an unknown rule.
+#include <unordered_map>
+
+struct Broken
+{
+    std::unordered_map<int, int> counts_;
+
+    int
+    total()
+    {
+        int t = 0;
+        // rrm-lint: allow(det-unordered-iter)
+        for (const auto &[k, v] : counts_) // line 14
+            t += v;
+        // rrm-lint: allow(no-such-rule) reason present but rule bogus
+        return t; // line 17
+    }
+};

@@ -1,0 +1,18 @@
+// A correctly justified suppression: the finding is recorded but does
+// not count as a violation.
+#include <unordered_map>
+
+struct Sum
+{
+    std::unordered_map<int, int> counts_;
+
+    int
+    total()
+    {
+        int t = 0;
+        // rrm-lint: allow(det-unordered-iter) sum is order independent
+        for (const auto &[k, v] : counts_) // line 14
+            t += v;
+        return t;
+    }
+};

@@ -1,0 +1,17 @@
+// Seeds stats-register-once, stats-formula-operand and
+// stats-trace-category against the members declared in the header.
+#include "stats_hygiene.hh"
+
+void
+Monitor::regStats(rrm::stats::StatGroup &g)
+{
+    statTwiceRegistered_ = &g.addScalar("twice", "first is fine");
+    statTwiceRegistered_ = &g.addScalar("twice", "dup: line 9");
+    statWrongKind_ = &g.addFormula("kind", "mismatch: line 10", [] {
+        return 0.0;
+    });
+    statRatio_ = &g.addFormula("ratio", "operand check", [this] {
+        return statUndeclared_->value(); // line 14
+    });
+    RRM_TRACE(sink_, 0, obs::TraceCategory::Bogus, "ev"); // line 16
+}

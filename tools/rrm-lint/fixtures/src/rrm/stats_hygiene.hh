@@ -1,0 +1,18 @@
+// Seeds stats-register-once (via the paired .cc) — three members
+// with three different registration defects.
+namespace rrm::stats
+{
+class Scalar;
+class Formula;
+class StatGroup;
+} // namespace rrm::stats
+
+struct Monitor
+{
+    void regStats(rrm::stats::StatGroup &g);
+
+    rrm::stats::Scalar *statNeverRegistered_ = nullptr; // line 14
+    rrm::stats::Scalar *statTwiceRegistered_ = nullptr;
+    rrm::stats::Scalar *statWrongKind_ = nullptr;
+    rrm::stats::Formula *statRatio_ = nullptr;
+};

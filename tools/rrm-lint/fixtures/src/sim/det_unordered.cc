@@ -1,0 +1,24 @@
+// Seeds det-unordered-iter: iteration over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Exporter
+{
+    std::unordered_map<unsigned long, unsigned> perRegion_;
+    std::unordered_set<unsigned> live_;
+
+    unsigned long
+    exportCsv()
+    {
+        unsigned long sum = 0;
+        for (const auto &[region, count] : perRegion_) // line 14
+            sum += region * count;
+        return sum;
+    }
+
+    unsigned
+    firstLive()
+    {
+        return *live_.begin(); // line 22
+    }
+};

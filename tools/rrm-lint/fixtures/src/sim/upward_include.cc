@@ -1,0 +1,4 @@
+// Seeds layer-upward-include: src/sim must not reach into
+// src/system (nor any higher layer).
+#include "common/units.hh"
+#include "system/system.hh" // line 4

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * rrm-lint command line driver.
+ *
+ * Usage:
+ *   rrm_lint [--root DIR] [--json FILE] [--count-suppressions]
+ *            [--list-rules] [--quiet] [file...]
+ *
+ * With no file arguments the whole tree (src/ bench/ tests/ examples/
+ * under --root) is scanned. Exit status is 1 when any unsuppressed
+ * violation remains, 0 otherwise — which is what the `lint` CMake
+ * target and the CI job key off.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--root DIR] [--json FILE] [--count-suppressions]\n"
+           "       [--list-rules] [--quiet] [file...]\n\n"
+           "Project-specific static analysis for the RRM simulator.\n"
+           "Scans src/ bench/ tests/ examples/ under --root (default\n"
+           "'.') unless explicit root-relative files are given.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string jsonOut;
+    bool countSuppressions = false;
+    bool listRules = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonOut = argv[++i];
+        } else if (arg == "--count-suppressions") {
+            countSuppressions = true;
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "rrm-lint: unknown option '" << arg << "'\n";
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const auto &[rule, desc] : rrm::lint::ruleCatalog())
+            std::cout << rule << "\n    " << desc << "\n";
+        return 0;
+    }
+
+    rrm::lint::Config config = rrm::lint::defaultConfig();
+    rrm::lint::loadTraceCategories(root, config);
+
+    const std::vector<rrm::lint::Diagnostic> diags =
+        files.empty() ? rrm::lint::lintTree(root, config)
+                      : rrm::lint::lintFiles(root, files, config);
+    const rrm::lint::Summary sum = rrm::lint::summarize(diags);
+
+    if (countSuppressions) {
+        std::cout << sum.suppressed << "\n";
+        return sum.unsuppressed > 0 ? 1 : 0;
+    }
+
+    if (!quiet) {
+        for (const auto &d : diags)
+            if (!d.suppressed)
+                std::cout << rrm::lint::formatDiagnostic(d) << "\n";
+        std::cout << "rrm-lint: " << sum.total << " findings ("
+                  << sum.unsuppressed << " unsuppressed, "
+                  << sum.suppressed << " suppressed)\n";
+    }
+
+    if (!jsonOut.empty()) {
+        std::ofstream out(jsonOut);
+        if (!out) {
+            std::cerr << "rrm-lint: cannot write " << jsonOut << "\n";
+            return 2;
+        }
+        out << rrm::lint::diagnosticsToJson(diags);
+    }
+
+    return sum.unsuppressed > 0 ? 1 : 0;
+}
