@@ -92,10 +92,25 @@ benchFlagTable()
          [](BenchOptions &o, const std::string &v) {
              o.traceJsonlStem = v;
          }},
+        {"--perfetto-out", "STEM",
+         "per-run Perfetto timelines STEM.<run>.perfetto.json",
+         [](BenchOptions &o, const std::string &v) {
+             o.perfettoStem = v;
+         }},
+        {"--telemetry", "STEM",
+         "per-run telemetry stats STEM.<run>.telemetry.json",
+         [](BenchOptions &o, const std::string &v) {
+             o.telemetryStem = v;
+         }},
         {"--profile", nullptr,
          "wall-clock self-profiling in run records",
          [](BenchOptions &o, const std::string &) {
              o.profile = true;
+         }},
+        {"--progress", nullptr,
+         "throughput/ETA heartbeat lines on stderr",
+         [](BenchOptions &o, const std::string &) {
+             o.progress = true;
          }},
         {"--json-out", "F", "bench-report path (benches that emit one)",
          [](BenchOptions &o, const std::string &v) { o.jsonOut = v; }},
@@ -213,6 +228,15 @@ BenchOptions::runnerOptions() const
     ro.verbose = verbose;
     ro.timeoutSeconds = timeoutSeconds;
     ro.retries = retries;
+    if (progress) {
+        ro.onProgress = [](const run::RunProgress &p) {
+            std::fprintf(stderr,
+                         "progress: %zu/%zu runs done, last %.2f Mev/s"
+                         " (%.2f s), eta %.1f s\n",
+                         p.finished, p.total, p.eventsPerSecond / 1e6,
+                         p.runSeconds, p.etaSeconds);
+        };
+    }
     return ro;
 }
 
@@ -238,6 +262,14 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
         cfg.obs.sampleCsvFile = opts.sampleCsvStem + "." + run_tag + ".csv";
     if (!opts.traceJsonlStem.empty())
         cfg.obs.traceFile = opts.traceJsonlStem + "." + run_tag + ".jsonl";
+    if (!opts.perfettoStem.empty()) {
+        cfg.obs.perfettoFile =
+            opts.perfettoStem + "." + run_tag + ".perfetto.json";
+    }
+    if (!opts.telemetryStem.empty()) {
+        cfg.obs.telemetryJsonFile =
+            opts.telemetryStem + "." + run_tag + ".telemetry.json";
+    }
     cfg.obs.profiling = opts.profile;
 
     if (hook)

@@ -55,10 +55,15 @@ struct BenchOptions
     std::string statsJsonStem;  ///< run records (--stats-json)
     std::string sampleCsvStem;  ///< sampled time series (--sample-csv)
     std::string traceJsonlStem; ///< JSONL traces (--trace-jsonl)
+    std::string perfettoStem;   ///< Perfetto timelines (--perfetto-out)
+    std::string telemetryStem;  ///< telemetry JSON (--telemetry)
     /** @} */
 
     /** Wall-clock self-profiling into the run records (--profile). */
     bool profile = false;
+
+    /** Throughput/ETA heartbeat lines on stderr (--progress). */
+    bool progress = false;
 
     /** Bench-report path override (--json-out); bench default if empty. */
     std::string jsonOut;

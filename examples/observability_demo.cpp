@@ -4,8 +4,13 @@
  * obs layer enabled at once —
  *
  *  - a JSONL trace of RRM lifecycle / refresh / queue events,
+ *  - a Chrome-trace/Perfetto timeline of the same stream (channel
+ *    busy spans, queue counters, decay epochs, lifecycle instants)
+ *    to drop into ui.perfetto.dev,
  *  - a CSV time series sampled every RRM decay epoch (0.125 scaled
  *    seconds): hot entries, write-mode mix, queue occupancies,
+ *  - hot-path telemetry (event-latency/queue-depth histograms) as a
+ *    separate JSON stats tree,
  *  - the full run record (metadata + config + results + stats +
  *    wall-clock profile) as pretty-printed JSON,
  *
@@ -55,8 +60,10 @@ main(int argc, char **argv)
 
     const std::string stem = outdir + "/obs_demo";
     cfg.obs.traceFile = stem + ".trace.jsonl";
+    cfg.obs.perfettoFile = stem + ".perfetto.json";
     cfg.obs.sampleCsvFile = stem + ".samples.csv";
     cfg.obs.runRecordFile = stem + ".run.json";
+    cfg.obs.telemetryJsonFile = stem + ".telemetry.json";
     cfg.obs.profiling = true;
 
     std::printf("running %s under RRM for %.1f ms with tracing, "
@@ -76,6 +83,17 @@ main(int argc, char **argv)
                 (stem + ".trace.jsonl").c_str(),
                 (unsigned long long)(sink ? sink->recorded() : 0),
                 (unsigned long long)(sink ? sink->dropped() : 0));
+
+    std::printf("%s: %llu lines of Perfetto timeline "
+                "(open in ui.perfetto.dev)\n",
+                (stem + ".perfetto.json").c_str(),
+                (unsigned long long)countLines(stem +
+                                               ".perfetto.json"));
+
+    std::printf("%s: %llu lines of telemetry histograms\n",
+                (stem + ".telemetry.json").c_str(),
+                (unsigned long long)countLines(stem +
+                                               ".telemetry.json"));
 
     const obs::Sampler *sampler = system.sampler();
     std::printf("%s: %zu samples x %zu columns, every %.3f scaled ms\n",

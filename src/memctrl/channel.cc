@@ -187,6 +187,9 @@ Channel::tryIssueRead(const Request &req, Tick &earliest)
         ++*statRowHits_;
 
     const Tick finish = now + access + params_.burstTime();
+    RRM_TRACE(traceSink_, now, obs::TraceCategory::Queue,
+              "readService", RRM_TF("channel", index_),
+              RRM_TF("bank", loc.bank), RRM_TF("dur", finish - now));
     if (statReadLatency_)
         statReadLatency_->add(finish - req.enqueueTick);
     ++inflightReads_;
@@ -243,6 +246,10 @@ Channel::tryIssueWrite(const Request &req, Tick &earliest,
     bank.writeMode = req.mode;
     bank.busyUntil = pulse_start + wp;
     bank.inflightWrite = req;
+    RRM_TRACE(traceSink_, now, obs::TraceCategory::Queue,
+              is_refresh ? "refreshService" : "writeService",
+              RRM_TF("channel", index_), RRM_TF("bank", loc.bank),
+              RRM_TF("dur", bank.busyUntil - now));
 
     // Completion check; reschedules itself if pauses moved the end.
     scheduleWriteCheck(loc.bank, bank.busyUntil);

@@ -28,6 +28,13 @@ struct ObsOptions
     /** Human-readable text instead of JSONL. */
     bool traceText = false;
 
+    /**
+     * Chrome-trace / Perfetto JSON timeline (loadable in
+     * ui.perfetto.dev); may be combined with traceFile — both then
+     * receive the same event stream through a tee.
+     */
+    std::string perfettoFile;
+
     /** Enabled trace categories (bits of obs::TraceCategory). */
     std::uint32_t traceCategories = traceAllCategories;
 
@@ -58,13 +65,35 @@ struct ObsOptions
     /** Collect wall-clock self-profiling data. */
     bool profiling = false;
 
+    /**
+     * Collect hot-path telemetry (event histograms, queue occupancy;
+     * see obs/telemetry.hh). Implied by either telemetry output file.
+     * The telemetry stats tree is separate from the run record, so
+     * seeded run records stay byte-identical either way.
+     */
+    bool telemetry = false;
+
+    /** Telemetry stats exports (JSON / CSV); empty = not written. */
+    std::string telemetryJsonFile;
+    std::string telemetryCsvFile;
+
+    /** True if telemetry collection is requested. */
+    bool
+    telemetryEnabled() const
+    {
+        return telemetry || !telemetryJsonFile.empty() ||
+               !telemetryCsvFile.empty();
+    }
+
     /** True if any observability feature is requested. */
     bool
     anyEnabled() const
     {
-        return !traceFile.empty() || sampleIntervalSeconds != 0.0 ||
+        return !traceFile.empty() || !perfettoFile.empty() ||
+               sampleIntervalSeconds != 0.0 ||
                !sampleCsvFile.empty() || !sampleJsonlFile.empty() ||
-               !runRecordFile.empty() || profiling;
+               !runRecordFile.empty() || profiling ||
+               telemetryEnabled();
     }
 };
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * PerfettoTraceWriter implementation.
+ */
+
+#include "perfetto.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace rrm::obs
+{
+
+namespace
+{
+
+/** Track ids (tids) of the fixed taxonomy; see perfetto.hh. */
+constexpr int kCategoryTidBase = 10; ///< + category index
+constexpr int kEpochTid = 20;
+constexpr int kChannelTidBase = 100; ///< + channel index
+
+const TraceEvent::Field *
+findField(const TraceEvent &ev, const char *key)
+{
+    for (std::size_t i = 0; i < ev.numFields(); ++i)
+        if (std::strcmp(ev.fields[i].key, key) == 0)
+            return &ev.fields[i];
+    return nullptr;
+}
+
+bool
+isServiceSpan(const char *name)
+{
+    return std::strcmp(name, "readService") == 0 ||
+           std::strcmp(name, "writeService") == 0 ||
+           std::strcmp(name, "refreshService") == 0;
+}
+
+bool
+isQueueCounter(const char *name)
+{
+    return std::strcmp(name, "readEnq") == 0 ||
+           std::strcmp(name, "writeEnq") == 0 ||
+           std::strcmp(name, "refreshEnq") == 0;
+}
+
+} // namespace
+
+PerfettoTraceWriter::PerfettoTraceWriter(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+PerfettoTraceWriter::~PerfettoTraceWriter()
+{
+    finish();
+}
+
+double
+PerfettoTraceWriter::toMicros(Tick tick)
+{
+    return static_cast<double>(tick) / static_cast<double>(tickPerUs);
+}
+
+void
+PerfettoTraceWriter::beginEvent(const char *name, const char *cat,
+                                char phase, double ts_us)
+{
+    os_ << (first_ ? "\n" : ",\n");
+    if (first_) {
+        // Name the process once, ahead of the first real event.
+        first_ = false;
+        os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"rrm-sim\"}},\n";
+    }
+    os_ << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+        << jsonEscape(cat) << "\",\"ph\":\"" << phase
+        << "\",\"ts\":" << jsonNumber(ts_us) << ",\"pid\":1";
+}
+
+void
+PerfettoTraceWriter::nameTrack(int tid, const std::string &name)
+{
+    if (!namedTracks_.insert(tid).second)
+        return;
+    os_ << (first_ ? "\n" : ",\n");
+    if (first_) {
+        first_ = false;
+        os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"rrm-sim\"}},\n";
+    }
+    os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tid << ",\"args\":{\"name\":\"" << jsonEscape(name)
+        << "\"}}";
+}
+
+void
+PerfettoTraceWriter::writeArgs(const TraceEvent &ev,
+                               std::size_t first_field)
+{
+    os_ << ",\"args\":{";
+    bool sep = false;
+    for (std::size_t i = first_field; i < ev.numFields(); ++i) {
+        if (sep)
+            os_ << ',';
+        sep = true;
+        os_ << '"' << jsonEscape(ev.fields[i].key)
+            << "\":" << jsonNumber(ev.fields[i].value);
+    }
+    os_ << '}';
+}
+
+void
+PerfettoTraceWriter::write(const TraceEvent &ev)
+{
+    if (finished_)
+        return;
+    const char *name = ev.name ? ev.name : "?";
+    const char *cat = traceCategoryName(ev.category);
+    const double ts = toMicros(ev.tick);
+
+    if (isServiceSpan(name)) {
+        // Channel busy window: duration known at issue time.
+        const TraceEvent::Field *ch = findField(ev, "channel");
+        const TraceEvent::Field *dur = findField(ev, "dur");
+        const int tid =
+            kChannelTidBase +
+            (ch ? static_cast<int>(ch->value) : 0);
+        nameTrack(tid, "channel" +
+                           std::to_string(ch ? static_cast<int>(
+                                                   ch->value)
+                                             : 0) +
+                           " busy");
+        beginEvent(name, cat, 'X', ts);
+        os_ << ",\"tid\":" << tid << ",\"dur\":"
+            << jsonNumber(dur ? toMicros(static_cast<Tick>(dur->value))
+                              : 0.0);
+        writeArgs(ev, 0);
+        os_ << '}';
+        return;
+    }
+
+    if (ev.category == TraceCategory::Queue && isQueueCounter(name)) {
+        // Queue occupancy counter series, one track per channel.
+        const TraceEvent::Field *ch = findField(ev, "channel");
+        const int chan = ch ? static_cast<int>(ch->value) : 0;
+        const std::string counter =
+            "ch" + std::to_string(chan) + " queues";
+        beginEvent(counter.c_str(), cat, 'C', ts);
+        os_ << ",\"args\":{";
+        bool sep = false;
+        for (const char *key : {"readQ", "writeQ", "refreshQ"}) {
+            if (const TraceEvent::Field *f = findField(ev, key)) {
+                if (sep)
+                    os_ << ',';
+                sep = true;
+                os_ << '"' << jsonEscape(key)
+                    << "\":" << jsonNumber(f->value);
+            }
+        }
+        os_ << "}}";
+        return;
+    }
+
+    if (ev.category == TraceCategory::Sampler) {
+        // Consecutive samples bound one settled decay epoch each.
+        if (haveSample_ && ev.tick > lastSampleTick_) {
+            nameTrack(kEpochTid, "decay epochs");
+            beginEvent("epoch", cat, 'X', toMicros(lastSampleTick_));
+            os_ << ",\"tid\":" << kEpochTid << ",\"dur\":"
+                << jsonNumber(toMicros(ev.tick - lastSampleTick_));
+            writeArgs(ev, 0);
+            os_ << '}';
+        }
+        haveSample_ = true;
+        lastSampleTick_ = ev.tick;
+        return;
+    }
+
+    // Default: a thread-scoped instant on the category's track.
+    const int tid =
+        kCategoryTidBase + static_cast<int>(ev.category);
+    nameTrack(tid, cat);
+    beginEvent(name, cat, 'i', ts);
+    os_ << ",\"tid\":" << tid << ",\"s\":\"t\"";
+    writeArgs(ev, 0);
+    os_ << '}';
+}
+
+void
+PerfettoTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+}
+
+namespace
+{
+
+/** A Perfetto writer owning the file stream it writes to. */
+class OwningPerfettoWriter : public TraceWriter
+{
+  public:
+    explicit OwningPerfettoWriter(const std::string &path) : os_(path)
+    {
+        if (!os_)
+            fatal("cannot open perfetto trace file '", path, "'");
+        writer_ = std::make_unique<PerfettoTraceWriter>(os_);
+    }
+
+    void write(const TraceEvent &ev) override { writer_->write(ev); }
+    void finish() override { writer_->finish(); }
+
+  private:
+    std::ofstream os_;
+    std::unique_ptr<PerfettoTraceWriter> writer_;
+};
+
+} // namespace
+
+std::unique_ptr<TraceWriter>
+openPerfettoFile(const std::string &path)
+{
+    return std::make_unique<OwningPerfettoWriter>(path);
+}
+
+} // namespace rrm::obs

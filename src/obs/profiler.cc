@@ -54,21 +54,56 @@ Profiler::childNs(const std::string &path) const
     return ns;
 }
 
+std::uint64_t
+Profiler::rootNs() const
+{
+    // Wall time covered by the outermost recorded scopes: nodes with
+    // no recorded ancestor (nested nodes are already counted inside
+    // their parents). Checking ancestors rather than dot-free names
+    // keeps dotted scope names with absent parents -- e.g. the
+    // system's "system.run.*" family -- summing to a real total.
+    std::uint64_t ns = 0;
+    for (const auto &[path, node] : nodes_) {
+        bool nested = false;
+        for (std::size_t dot = path.rfind('.');
+             dot != std::string::npos;
+             dot = path.rfind('.', dot - 1)) {
+            if (nodes_.count(path.substr(0, dot)) != 0) {
+                nested = true;
+                break;
+            }
+            if (dot == 0)
+                break;
+        }
+        if (!nested)
+            ns += node.totalNs;
+    }
+    return ns;
+}
+
 void
 Profiler::report(std::ostream &os) const
 {
+    const std::uint64_t root_ns = rootNs();
+
     os << std::left << std::setw(44) << "profile node" << std::right
        << std::setw(10) << "calls" << std::setw(14) << "total ms"
-       << std::setw(14) << "excl ms" << '\n';
+       << std::setw(14) << "excl ms" << std::setw(10) << "% total"
+       << '\n';
     for (const auto &[path, node] : nodes_) {
         const std::uint64_t excl_ns =
             node.totalNs >= childNs(path) ? node.totalNs - childNs(path)
                                           : 0;
+        const double percent =
+            root_ns ? 100.0 * static_cast<double>(node.totalNs) /
+                          static_cast<double>(root_ns)
+                    : 0.0;
         os << std::left << std::setw(44) << ("profile." + path)
            << std::right << std::setw(10) << node.calls
            << std::setw(14) << std::fixed << std::setprecision(3)
            << static_cast<double>(node.totalNs) / 1e6 << std::setw(14)
-           << static_cast<double>(excl_ns) / 1e6 << '\n';
+           << static_cast<double>(excl_ns) / 1e6 << std::setw(9)
+           << std::setprecision(1) << percent << '%' << '\n';
     }
     os.unsetf(std::ios::fixed);
 }
@@ -76,6 +111,7 @@ Profiler::report(std::ostream &os) const
 void
 Profiler::writeJson(JsonWriter &json) const
 {
+    const std::uint64_t root_ns = rootNs();
     json.beginObject();
     for (const auto &[path, node] : nodes_) {
         const std::uint64_t children = childNs(path);
@@ -86,6 +122,11 @@ Profiler::writeJson(JsonWriter &json) const
         json.field("exclusiveNs", node.totalNs >= children
                                       ? node.totalNs - children
                                       : 0);
+        json.field("percentOfTotal",
+                   root_ns ? 100.0 *
+                                 static_cast<double>(node.totalNs) /
+                                 static_cast<double>(root_ns)
+                           : 0.0);
         json.endObject();
     }
     json.endObject();

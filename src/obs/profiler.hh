@@ -64,14 +64,18 @@ class Profiler
     void report(std::ostream &os) const;
 
     /**
-     * Emit {"path": {"calls": n, "totalNs": n, "exclusiveNs": n}}
-     * into an enclosing JsonWriter positioned at a value slot.
+     * Emit {"path": {"calls": n, "totalNs": n, "exclusiveNs": n,
+     * "percentOfTotal": p}} into an enclosing JsonWriter positioned
+     * at a value slot.
      */
     void writeJson(JsonWriter &json) const;
 
   private:
     /** Sum of totalNs over the direct children of `path`. */
     std::uint64_t childNs(const std::string &path) const;
+
+    /** Wall time covered by the root (dot-free) scopes. */
+    std::uint64_t rootNs() const;
 
     std::map<std::string, Node> nodes_;
     std::vector<std::string> stack_; ///< dotted path per open scope

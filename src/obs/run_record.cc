@@ -5,6 +5,7 @@
 
 #include "run_record.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <ctime>
 
@@ -19,6 +20,16 @@ wallClockSeconds()
     // rrm-lint: allow(det-wall-clock) the single sanctioned wall-clock
     // read; SOURCE_DATE_EPOCH above overrides it for reproducible runs
     return static_cast<std::int64_t>(std::time(nullptr));
+}
+
+double
+monotonicSeconds()
+{
+    if (std::getenv("SOURCE_DATE_EPOCH") != nullptr)
+        return 0.0;
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
 }
 
 RunMetadata

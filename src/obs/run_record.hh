@@ -30,6 +30,20 @@ namespace rrm::obs
  */
 std::int64_t wallClockSeconds();
 
+/**
+ * Monotonic host time in seconds, for measuring durations (run wall
+ * time, events/sec, timeouts). Under SOURCE_DATE_EPOCH this returns
+ * 0.0 unconditionally, so every derived duration and rate collapses
+ * to zero and seeded determinism harnesses stay byte-identical across
+ * machines and --jobs settings (wall timeouts are then inert, which
+ * pinned runs never rely on).
+ *
+ * This is the simulator's only sanctioned monotonic-clock read
+ * outside the self-profiler — rrm-lint's det-monotonic-clock rule
+ * flags every other steady_clock/high_resolution_clock call site.
+ */
+double monotonicSeconds();
+
 /** Schema version stamped into every exported run record. */
 constexpr int runRecordSchemaVersion = 1;
 

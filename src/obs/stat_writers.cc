@@ -81,6 +81,27 @@ JsonStatWriter::visitDistribution(const std::string &path,
     json_.endObject();
 }
 
+void
+JsonStatWriter::visitHistogram(const std::string &path,
+                               const stats::HistogramStat &stat)
+{
+    json_.key(leaf(path));
+    json_.beginObject();
+    json_.field("samples", stat.samples());
+    json_.field("mean", stat.mean());
+    json_.field("min", stat.minSample());
+    json_.field("max", stat.maxSample());
+    json_.key("buckets");
+    json_.beginObject();
+    for (std::size_t i = 0; i < stats::HistogramStat::kNumBuckets; ++i) {
+        if (stat.count(i) == 0)
+            continue;
+        json_.field(stats::HistogramStat::bucketLabel(i), stat.count(i));
+    }
+    json_.endObject();
+    json_.endObject();
+}
+
 std::string
 csvQuote(const std::string &field)
 {
@@ -146,6 +167,25 @@ CsvStatWriter::visitDistribution(const std::string &path,
     for (std::size_t i = 0; i < hist.numBuckets(); ++i) {
         row(path + "::" + hist.bucketLabel(i),
             static_cast<double>(hist.count(i)), stat.desc());
+    }
+}
+
+void
+CsvStatWriter::visitHistogram(const std::string &path,
+                              const stats::HistogramStat &stat)
+{
+    row(path + "::samples", static_cast<double>(stat.samples()),
+        stat.desc());
+    row(path + "::mean", stat.mean(), stat.desc());
+    row(path + "::min", static_cast<double>(stat.minSample()),
+        stat.desc());
+    row(path + "::max", static_cast<double>(stat.maxSample()),
+        stat.desc());
+    for (std::size_t i = 0; i < stats::HistogramStat::kNumBuckets; ++i) {
+        if (stat.count(i) == 0)
+            continue;
+        row(path + "::" + stats::HistogramStat::bucketLabel(i),
+            static_cast<double>(stat.count(i)), stat.desc());
     }
 }
 

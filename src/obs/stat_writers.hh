@@ -12,6 +12,9 @@
  *   VectorStat         -> {"bins": {name: number, ...}, "total": n}
  *   DistributionStat   -> {"samples": n, "mean": x,
  *                          "buckets": {label: count, ...}}
+ *   HistogramStat      -> {"samples": n, "mean": x, "min": n, "max": n,
+ *                          "buckets": {label: count, ...}} where only
+ *                         non-empty log2 buckets are emitted
  *
  * CSV schema: header "stat,value,description", one row per scalar
  * value using the flattened text-report names (vector bins and
@@ -49,6 +52,8 @@ class JsonStatWriter : public stats::StatVisitor
                       const stats::Formula &stat) override;
     void visitDistribution(const std::string &path,
                            const stats::DistributionStat &stat) override;
+    void visitHistogram(const std::string &path,
+                        const stats::HistogramStat &stat) override;
     void enterGroup(const std::string &path) override;
     void leaveGroup(const std::string &path) override;
 
@@ -75,6 +80,8 @@ class CsvStatWriter : public stats::StatVisitor
                       const stats::Formula &stat) override;
     void visitDistribution(const std::string &path,
                            const stats::DistributionStat &stat) override;
+    void visitHistogram(const std::string &path,
+                        const stats::HistogramStat &stat) override;
 
   private:
     void row(const std::string &name, double value,

@@ -93,6 +93,27 @@ JsonlTraceWriter::write(const TraceEvent &ev)
     os_ << '\n';
 }
 
+TeeTraceWriter::TeeTraceWriter(std::unique_ptr<TraceWriter> a,
+                               std::unique_ptr<TraceWriter> b)
+    : a_(std::move(a)), b_(std::move(b))
+{
+    RRM_ASSERT(a_ && b_, "tee writer needs two live writers");
+}
+
+void
+TeeTraceWriter::write(const TraceEvent &ev)
+{
+    a_->write(ev);
+    b_->write(ev);
+}
+
+void
+TeeTraceWriter::finish()
+{
+    a_->finish();
+    b_->finish();
+}
+
 TraceSink::TraceSink(std::size_t capacity, std::uint32_t categories)
     : capacity_(capacity), categoryMask_(categories)
 {
@@ -129,6 +150,14 @@ TraceSink::flush()
     for (const TraceEvent &ev : ring_)
         writer_->write(ev);
     ring_.clear();
+}
+
+void
+TraceSink::finishWriter()
+{
+    flush();
+    if (writer_)
+        writer_->finish();
 }
 
 namespace

@@ -117,6 +117,13 @@ class TraceWriter
     virtual ~TraceWriter() = default;
 
     virtual void write(const TraceEvent &ev) = 0;
+
+    /**
+     * Finalise the output (formats with a trailer, e.g. the Perfetto
+     * JSON array close, override this). Must be idempotent; events
+     * written afterwards may be dropped. Default: no-op.
+     */
+    virtual void finish() {}
 };
 
 /** Discards every event (measuring trace overhead in benches). */
@@ -136,6 +143,21 @@ class TextTraceWriter : public TraceWriter
 
   private:
     std::ostream &os_;
+};
+
+/** Fans one event stream out to two writers (e.g. JSONL + Perfetto). */
+class TeeTraceWriter : public TraceWriter
+{
+  public:
+    TeeTraceWriter(std::unique_ptr<TraceWriter> a,
+                   std::unique_ptr<TraceWriter> b);
+
+    void write(const TraceEvent &ev) override;
+    void finish() override;
+
+  private:
+    std::unique_ptr<TraceWriter> a_;
+    std::unique_ptr<TraceWriter> b_;
 };
 
 /** One JSON object per line (JSONL). */
@@ -184,6 +206,9 @@ class TraceSink
 
     /** Drain buffered events to the writer, if one is attached. */
     void flush();
+
+    /** flush() then finalise the writer (Perfetto JSON trailer). */
+    void finishWriter();
 
     /** Events accepted over the sink's lifetime. */
     std::uint64_t recorded() const { return recorded_; }

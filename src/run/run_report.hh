@@ -61,6 +61,15 @@ struct RunResult
      * (nondeterministic).
      */
     double wallSeconds = 0.0;
+
+    /** Simulator events the winning attempt executed (0 unless Ok). */
+    std::uint64_t eventsExecuted = 0;
+
+    /**
+     * Host throughput: eventsExecuted / wallSeconds, 0 when the
+     * clock is pinned via SOURCE_DATE_EPOCH (nondeterministic).
+     */
+    double eventsPerSecond = 0.0;
 };
 
 /** Aggregated outcome of one executed plan. */

@@ -6,13 +6,13 @@
 #include "runner.hh"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/run_record.hh"
 #include "system/system.hh"
 
 namespace rrm::run
@@ -21,13 +21,15 @@ namespace rrm::run
 namespace
 {
 
-/** Seconds elapsed since `start` on the steady clock. */
+/**
+ * Seconds elapsed since `start` (an obs::monotonicSeconds() reading).
+ * Under SOURCE_DATE_EPOCH both readings are 0, so every wall-clock
+ * field collapses to 0 and reports are byte-reproducible.
+ */
 double
-secondsSince(std::chrono::steady_clock::time_point start)
+secondsSince(double start)
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
+    return obs::monotonicSeconds() - start;
 }
 
 /** Shared execution state of one plan; workers hold a reference. */
@@ -51,6 +53,7 @@ struct Execution
     std::mutex progressMutex;
     std::size_t finished = 0;          // guarded by progressMutex
     double slowestSeconds = 0.0;       // guarded by progressMutex
+    double finishedSeconds = 0.0;      // guarded by progressMutex
 };
 
 /** Execute plan run `index`, filling its plan-order report slot. */
@@ -59,7 +62,7 @@ executeOne(Execution &ex, std::size_t index)
 {
     const RunSpec &spec = ex.plan[index];
     RunResult &slot = ex.report.runs[index];
-    const auto start = std::chrono::steady_clock::now();
+    const double start = obs::monotonicSeconds();
 
     sys::SystemConfig config = spec.config;
     if (config.wallTimeoutSeconds == 0.0)
@@ -87,12 +90,22 @@ executeOne(Execution &ex, std::size_t index)
     if (slot.status != RunStatus::Ok && ex.options.failFast)
         ex.aborted.store(true, std::memory_order_relaxed);
     slot.wallSeconds = secondsSince(start);
+    if (slot.status == RunStatus::Ok) {
+        slot.eventsExecuted = slot.results.eventsExecuted;
+        if (slot.wallSeconds > 0.0) {
+            slot.eventsPerSecond =
+                static_cast<double>(slot.eventsExecuted) /
+                slot.wallSeconds;
+        }
+    }
 
     RunProgress progress;
     progress.index = index;
     progress.status = slot.status;
     progress.runSeconds = slot.wallSeconds;
     progress.total = ex.plan.size();
+    progress.eventsExecuted = slot.eventsExecuted;
+    progress.eventsPerSecond = slot.eventsPerSecond;
     {
         const std::lock_guard<std::mutex> lock(ex.progressMutex);
         progress.finished = ++ex.finished;
@@ -101,6 +114,15 @@ executeOne(Execution &ex, std::size_t index)
             ex.slowestSeconds = slot.wallSeconds;
         }
         progress.slowestSeconds = ex.slowestSeconds;
+        ex.finishedSeconds += slot.wallSeconds;
+        const std::size_t remaining = progress.total - progress.finished;
+        if (remaining > 0 && ex.finishedSeconds > 0.0) {
+            const double mean = ex.finishedSeconds /
+                                static_cast<double>(progress.finished);
+            progress.etaSeconds =
+                mean * static_cast<double>(remaining) /
+                static_cast<double>(ex.report.jobs ? ex.report.jobs : 1);
+        }
         if (ex.options.verbose) {
             std::fprintf(stderr,
                          "  [%zu/%zu] %-9s %-32s %6.2f s"
@@ -163,7 +185,7 @@ Runner::execute(const RunPlan &plan) const
     }
     report.jobs = effectiveJobs(plan.size());
 
-    const auto start = std::chrono::steady_clock::now();
+    const double start = obs::monotonicSeconds();
     Execution ex{plan, options_, report};
     if (report.jobs <= 1) {
         // Serial path: no threads, identical to the historical loop.

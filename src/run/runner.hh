@@ -48,6 +48,23 @@ struct RunProgress
 
     /** Slowest completed run seen so far (the watermark). */
     double slowestSeconds = 0.0;
+
+    /** Simulator events this run executed (0 unless Ok). */
+    std::uint64_t eventsExecuted = 0;
+
+    /**
+     * Host throughput of this run: eventsExecuted / runSeconds.
+     * 0 when the clock is pinned (SOURCE_DATE_EPOCH) or the run
+     * was not Ok. Nondeterministic.
+     */
+    double eventsPerSecond = 0.0;
+
+    /**
+     * Naive remaining-time estimate: mean completed-run seconds x
+     * remaining runs / workers. 0 once the plan is done or while
+     * the clock is pinned. Nondeterministic.
+     */
+    double etaSeconds = 0.0;
 };
 
 /** Execution policy of one Runner. */

@@ -72,6 +72,11 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     RRM_ASSERT(cb, "scheduling a null callback");
     const EventId id = nextId_++;
     heapPush(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+    if (telemetry_ != nullptr) {
+        telemetry_->scheduleLatency->add(
+            static_cast<std::uint64_t>(when - now_));
+        telemetry_->queueDepth->add(size());
+    }
     return id;
 }
 
@@ -100,6 +105,9 @@ EventQueue::run(Tick until, std::uint64_t max_events)
         now_ = entry.when;
         ++executed_;
         ++count;
+        if (telemetry_ != nullptr)
+            telemetry_->executedByPriority->add(
+                EventQueueTelemetry::priorityBin(entry.prio));
         entry.cb();
     }
     if (!capped && until != maxTick && until > now_)
@@ -115,6 +123,9 @@ EventQueue::step()
     Entry entry = heapPop();
     now_ = entry.when;
     ++executed_;
+    if (telemetry_ != nullptr)
+        telemetry_->executedByPriority->add(
+            EventQueueTelemetry::priorityBin(entry.prio));
     entry.cb();
     return true;
 }

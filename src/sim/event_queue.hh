@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "stats/stats.hh"
 
 namespace rrm
 {
@@ -37,6 +39,54 @@ enum class EventPriority : int
     Default = 20,
     CpuTick = 30,         ///< cores advance after the memory system
     Sampler = 40,         ///< stat sampling observes the settled tick
+};
+
+/**
+ * Optional hot-path telemetry sinks for the event kernel.
+ *
+ * A struct of non-owning stats pointers rather than an obs type:
+ * src/sim sits below src/obs in the layer order, so the kernel cannot
+ * name the telemetry subsystem — obs::Telemetry owns and registers
+ * the stats and hands this struct to EventQueue::setTelemetry()
+ * (wired in System::setupObservability). All pointers must be
+ * non-null when the struct is attached; with no struct attached the
+ * per-event cost is a single pointer test.
+ */
+struct EventQueueTelemetry
+{
+    /** Events executed, binned by EventPriority class. */
+    // rrm-lint: allow(stats-register-once) non-owning sink pointer;
+    // owned and registered by obs::Telemetry
+    stats::VectorStat *executedByPriority = nullptr;
+    /** schedule() lead time (when - now()) in ticks. */
+    // rrm-lint: allow(stats-register-once) non-owning sink pointer;
+    // owned and registered by obs::Telemetry
+    stats::HistogramStat *scheduleLatency = nullptr;
+    /** Pending-event count observed at each schedule(). */
+    // rrm-lint: allow(stats-register-once) non-owning sink pointer;
+    // owned and registered by obs::Telemetry
+    stats::HistogramStat *queueDepth = nullptr;
+
+    /** Number of priority bins (one per EventPriority class). */
+    static constexpr std::size_t kNumPriorityBins = 5;
+
+    /** Bin index for a raw priority value; matches priorityBinNames(). */
+    static std::size_t
+    priorityBin(int prio)
+    {
+        const int bin = prio / 10;
+        if (bin < 0)
+            return 0;
+        return bin > 4 ? 4 : static_cast<std::size_t>(bin);
+    }
+
+    /** Bin names aligned with priorityBin(), for VectorStat setup. */
+    static std::vector<std::string>
+    priorityBinNames()
+    {
+        return {"refreshInterrupt", "memoryResponse", "default",
+                "cpuTick", "sampler"};
+    }
 };
 
 /** Global discrete-event queue. */
@@ -110,6 +160,13 @@ class EventQueue : public Auditable
     /** Total events executed over the queue's lifetime. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /**
+     * Attach (or detach, with nullptr) hot-path telemetry sinks. The
+     * struct must outlive the queue or be detached first; see
+     * EventQueueTelemetry for the ownership story.
+     */
+    void setTelemetry(const EventQueueTelemetry *t) { telemetry_ = t; }
+
     // ---- Auditable ----
     std::string_view auditName() const override { return "eventQueue"; }
 
@@ -151,6 +208,7 @@ class EventQueue : public Auditable
     Tick now_ = 0;
     EventId nextId_ = 0;
     std::uint64_t executed_ = 0;
+    const EventQueueTelemetry *telemetry_ = nullptr;
     std::vector<Entry> heap_;
     std::unordered_set<EventId> cancelled_;
 

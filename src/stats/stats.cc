@@ -5,6 +5,7 @@
 
 #include "stats.hh"
 
+#include <bit>
 #include <iomanip>
 #include <numeric>
 
@@ -82,6 +83,66 @@ TextStatWriter::visitDistribution(const std::string &path,
     }
 }
 
+void
+HistogramStat::add(std::uint64_t v, std::uint64_t weight)
+{
+    counts_[bucketOf(v)] += weight;
+    samples_ += weight;
+    sum_ += static_cast<double>(v) * static_cast<double>(weight);
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+std::size_t
+HistogramStat::bucketOf(std::uint64_t v)
+{
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::string
+HistogramStat::bucketLabel(std::size_t bucket)
+{
+    RRM_ASSERT(bucket < kNumBuckets, "histogram bucket out of range");
+    if (bucket == 0)
+        return "0";
+    const std::uint64_t lo = std::uint64_t(1) << (bucket - 1);
+    // Bucket 64's upper bound (2^64) does not fit in a uint64.
+    if (bucket == kNumBuckets - 1)
+        return "[" + std::to_string(lo) + ",inf)";
+    return "[" + std::to_string(lo) + "," + std::to_string(lo * 2) + ")";
+}
+
+void
+HistogramStat::reset()
+{
+    counts_.fill(0);
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = ~std::uint64_t(0);
+    max_ = 0;
+}
+
+void
+TextStatWriter::visitHistogram(const std::string &path,
+                               const HistogramStat &stat)
+{
+    dumpLine(os_, path + "::samples",
+             static_cast<double>(stat.samples()), stat.desc());
+    dumpLine(os_, path + "::mean", stat.mean(), stat.desc());
+    dumpLine(os_, path + "::min",
+             static_cast<double>(stat.minSample()), stat.desc());
+    dumpLine(os_, path + "::max",
+             static_cast<double>(stat.maxSample()), stat.desc());
+    for (std::size_t i = 0; i < HistogramStat::kNumBuckets; ++i) {
+        if (stat.count(i) == 0)
+            continue;
+        dumpLine(os_, path + "::" + HistogramStat::bucketLabel(i),
+                 static_cast<double>(stat.count(i)), stat.desc());
+    }
+}
+
 template <typename T, typename... Args>
 T &
 StatGroup::emplaceStat(Args &&...args)
@@ -118,6 +179,12 @@ StatGroup::addDistribution(const std::string &name, const std::string &desc,
 {
     return emplaceStat<DistributionStat>(name, desc,
                                          std::move(boundaries));
+}
+
+HistogramStat &
+StatGroup::addHistogram(const std::string &name, const std::string &desc)
+{
+    return emplaceStat<HistogramStat>(name, desc);
 }
 
 StatGroup &

@@ -10,6 +10,10 @@
  *  - VectorStat:   a fixed set of named bins (per-bank counters, ...).
  *  - Formula:      a value computed from other stats at dump time.
  *  - DistributionStat: bucketed distribution over uint64 samples.
+ *  - HistogramStat: log2-bucketed distribution with fixed bucket
+ *    geometry (bucket 0 holds zero-valued samples; bucket i >= 1
+ *    holds [2^(i-1), 2^i)), built for hot-path telemetry where the
+ *    sample range is unknown up front.
  *
  * Output goes through the StatVisitor interface: a visitor walks the
  * tree in registration order and receives one typed callback per
@@ -22,6 +26,7 @@
 #ifndef RRM_STATS_STATS_HH
 #define RRM_STATS_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +44,7 @@ class Scalar;
 class VectorStat;
 class Formula;
 class DistributionStat;
+class HistogramStat;
 
 /**
  * Typed walk over a statistics tree. Paths are full dotted names
@@ -60,6 +66,8 @@ class StatVisitor
                               const Formula &stat) = 0;
     virtual void visitDistribution(const std::string &path,
                                    const DistributionStat &stat) = 0;
+    virtual void visitHistogram(const std::string &path,
+                                const HistogramStat &stat) = 0;
 
     /** Group boundaries (path includes the group itself). */
     virtual void enterGroup(const std::string &path) { (void)path; }
@@ -247,6 +255,68 @@ class DistributionStat : public StatBase
 };
 
 /**
+ * Fixed-geometry log2 histogram over uint64 samples.
+ *
+ * Unlike DistributionStat (caller-supplied boundaries, dense bucket
+ * emission), the bucket geometry is baked in — bucket 0 counts
+ * zero-valued samples, bucket i >= 1 counts values in [2^(i-1), 2^i)
+ * — so recording is a bit_width() plus an array increment and needs
+ * no configuration. The writers emit only non-empty buckets (the
+ * geometry is implied by the labels), keeping 65-bucket histograms
+ * readable. Same samples in => same buckets out, on every platform:
+ * the bucketing contract is part of the determinism surface
+ * (DESIGN.md §14).
+ */
+class HistogramStat : public StatBase
+{
+  public:
+    /** Bucket 0 plus one bucket per uint64 bit. */
+    static constexpr std::size_t kNumBuckets = 65;
+
+    using StatBase::StatBase;
+
+    void add(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+    /** Smallest / largest recorded sample; 0 when empty. */
+    std::uint64_t minSample() const { return samples_ ? min_ : 0; }
+    std::uint64_t maxSample() const { return max_; }
+
+    std::uint64_t
+    count(std::size_t bucket) const
+    {
+        RRM_ASSERT(bucket < kNumBuckets, "histogram bucket out of range");
+        return counts_[bucket];
+    }
+
+    /** Bucket index holding value v (0 for v == 0, else bit_width). */
+    static std::size_t bucketOf(std::uint64_t v);
+
+    /** Deterministic label, e.g. "0", "[1,2)", "[4,8)". */
+    static std::string bucketLabel(std::size_t bucket);
+
+    void
+    accept(StatVisitor &visitor, const std::string &path) const override
+    {
+        visitor.visitHistogram(path, *this);
+    }
+
+    void reset() override;
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> counts_{};
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A named collection of statistics and child groups.
  *
  * Groups own their stats; the add* helpers return references that stay
@@ -270,6 +340,8 @@ class StatGroup
     DistributionStat &addDistribution(
         const std::string &name, const std::string &desc,
         std::vector<std::uint64_t> boundaries);
+    HistogramStat &addHistogram(const std::string &name,
+                                const std::string &desc);
 
     /** Create (and own) a nested child group. */
     StatGroup &addChild(const std::string &name);
@@ -315,8 +387,9 @@ class StatGroup
 /**
  * The canonical text renderer: fixed-width gem5-style lines
  * ("path  value  # desc"), vectors expanded per bin plus ::total,
- * distributions expanded into ::samples / ::mean / buckets. This is
- * exactly what StatGroup::dump() emits.
+ * distributions expanded into ::samples / ::mean / buckets,
+ * histograms into ::samples / ::mean / ::min / ::max plus non-empty
+ * buckets. This is exactly what StatGroup::dump() emits.
  */
 class TextStatWriter : public StatVisitor
 {
@@ -331,6 +404,8 @@ class TextStatWriter : public StatVisitor
                       const Formula &stat) override;
     void visitDistribution(const std::string &path,
                            const DistributionStat &stat) override;
+    void visitHistogram(const std::string &path,
+                        const HistogramStat &stat) override;
 
   private:
     std::ostream &os_;

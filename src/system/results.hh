@@ -30,6 +30,13 @@ struct SimResults
     /** Retention compression factor of the run. */
     double timeScale = 1.0;
 
+    /**
+     * Simulator events executed over the whole run (warmup included).
+     * Host-side throughput accounting only — deliberately NOT part of
+     * toJson() so run records stay byte-identical across machines.
+     */
+    std::uint64_t eventsExecuted = 0;
+
     // ---- Performance ----
     std::array<std::uint64_t, 4> instructions{};
     std::uint64_t totalInstructions = 0;

@@ -9,6 +9,7 @@
 
 #include "common/auditable.hh"
 #include "common/logging.hh"
+#include "obs/perfetto.hh"
 #include "obs/run_record.hh"
 #include "obs/stat_writers.hh"
 #include "stats/check_stats.hh"
@@ -182,15 +183,30 @@ System::setupObservability()
 {
     const obs::ObsOptions &o = config_.obs;
 
-    if (!o.traceFile.empty()) {
+    if (!o.traceFile.empty() || !o.perfettoFile.empty()) {
         traceSink_ = std::make_unique<obs::TraceSink>(
             o.traceRingCapacity, o.traceCategories);
-        traceSink_->setWriter(
-            obs::openTraceFile(o.traceFile, o.traceText));
+        std::unique_ptr<obs::TraceWriter> writer;
+        if (!o.traceFile.empty())
+            writer = obs::openTraceFile(o.traceFile, o.traceText);
+        if (!o.perfettoFile.empty()) {
+            auto perfetto = obs::openPerfettoFile(o.perfettoFile);
+            writer = writer
+                         ? std::make_unique<obs::TeeTraceWriter>(
+                               std::move(writer), std::move(perfetto))
+                         : std::move(perfetto);
+        }
+        traceSink_->setWriter(std::move(writer));
         controller_->setTraceSink(traceSink_.get());
         policy_->setTraceSink(traceSink_.get());
         if (faultMgr_)
             faultMgr_->setTraceSink(traceSink_.get());
+    }
+
+    if (o.telemetryEnabled()) {
+        telemetry_ = std::make_unique<obs::Telemetry>();
+        queue_.setTelemetry(telemetry_->queueHooks());
+        writePath_->setTelemetry(telemetry_->writePathHooks());
     }
 
     if (o.profiling) {
@@ -419,6 +435,8 @@ System::onPolicyRefresh(const monitor::RefreshRequest &req)
         return;
     }
 
+    if (telemetry_)
+        telemetry_->recordRefreshPressure(refreshPressure());
     writePath_->submitRefresh(phys, req.mode);
 }
 
@@ -506,7 +524,7 @@ System::runSlice(Tick until)
                                     ? config_.auditEveryEvents
                                     : (std::uint64_t{1} << 20);
     for (;;) {
-        if (timed && std::chrono::steady_clock::now() >= runDeadline_) {
+        if (timed && obs::monotonicSeconds() >= runDeadline_) {
             throw SimTimeoutError(
                 "run exceeded its wall-clock timeout of " +
                 std::to_string(config_.wallTimeoutSeconds) + " s");
@@ -530,11 +548,7 @@ System::run()
 
     if (config_.wallTimeoutSeconds > 0.0) {
         runDeadline_ =
-            std::chrono::steady_clock::now() +
-            std::chrono::duration_cast<
-                std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(
-                    config_.wallTimeoutSeconds));
+            obs::monotonicSeconds() + config_.wallTimeoutSeconds;
     }
 
     for (auto &core : cores_)
@@ -592,8 +606,18 @@ System::writeObsOutputs(const SimResults &r)
         auto os = open(o.runRecordFile);
         writeRunRecord(os, r);
     }
+    if (telemetry_) {
+        if (!o.telemetryJsonFile.empty()) {
+            auto os = open(o.telemetryJsonFile);
+            telemetry_->writeJson(os);
+        }
+        if (!o.telemetryCsvFile.empty()) {
+            auto os = open(o.telemetryCsvFile);
+            telemetry_->writeCsv(os);
+        }
+    }
     if (traceSink_)
-        traceSink_->flush();
+        traceSink_->finishWriter();
 }
 
 void
@@ -688,6 +712,7 @@ System::collectResults(Tick measure_start, Tick measure_end)
     r.workload = config_.workload.name;
     r.scheme = config_.scheme.name();
     r.timeScale = config_.timeScale;
+    r.eventsExecuted = queue_.eventsExecuted();
 
     const Tick elapsed = measure_end - measure_start;
     const double window = ticksToSeconds(elapsed);

@@ -14,7 +14,6 @@
 #ifndef RRM_SYSTEM_SYSTEM_HH
 #define RRM_SYSTEM_SYSTEM_HH
 
-#include <chrono>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -26,6 +25,7 @@
 #include "obs/obs_config.hh"
 #include "obs/profiler.hh"
 #include "obs/sampler.hh"
+#include "obs/telemetry.hh"
 #include "pcm/energy_model.hh"
 #include "pcm/lifetime_model.hh"
 #include "pcm/wear_tracker.hh"
@@ -222,6 +222,7 @@ class System : public cpu::CorePort
     {
         return selfProfiler_.get();
     }
+    const obs::Telemetry *telemetry() const { return telemetry_.get(); }
     /** @} */
 
     /**
@@ -275,12 +276,14 @@ class System : public cpu::CorePort
     std::unique_ptr<obs::TraceSink> traceSink_;
     std::unique_ptr<obs::Sampler> sampler_;
     std::unique_ptr<obs::Profiler> selfProfiler_;
+    std::unique_ptr<obs::Telemetry> telemetry_;
 
     // Global fill (LLC MSHR) accounting.
     unsigned outstandingFills_ = 0;
 
-    // Wall-clock deadline for run() (wallTimeoutSeconds > 0).
-    std::chrono::steady_clock::time_point runDeadline_{};
+    // Wall-clock deadline for run(), in obs::monotonicSeconds()
+    // terms (wallTimeoutSeconds > 0).
+    double runDeadline_ = 0.0;
 
     // Rate-correction rotation counter.
     std::uint64_t refreshSeq_ = 0;

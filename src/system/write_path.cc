@@ -35,6 +35,8 @@ void
 WritePath::queueWriteback(Addr addr, pcm::WriteMode mode)
 {
     writebacks_.push(PendingWrite{addr, mode});
+    if (telemetry_ != nullptr)
+        telemetry_->writebackOccupancy->add(writebacks_.size());
     if (writebacks_.size() >= writebackCap_ && statWritebackBlocked_)
         ++*statWritebackBlocked_;
     writebacks_.drain();
@@ -46,6 +48,9 @@ WritePath::submitRefresh(Addr addr, pcm::WriteMode mode)
     if (controller_.enqueueRefresh(addr, mode))
         return;
     refreshOverflow_.push(PendingWrite{addr, mode});
+    if (telemetry_ != nullptr)
+        telemetry_->refreshOverflowOccupancy->add(
+            refreshOverflow_.size());
     if (statRefreshOverflows_)
         ++*statRefreshOverflows_;
     if (refreshDropped_)

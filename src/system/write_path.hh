@@ -15,6 +15,7 @@
 
 #include "common/auditable.hh"
 #include "memctrl/controller.hh"
+#include "obs/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
@@ -65,6 +66,16 @@ class WritePath : public Auditable
     void setRefreshDroppedCallback(std::function<void(Addr)> cb)
     {
         refreshDropped_ = std::move(cb);
+    }
+
+    /**
+     * Attach hot-path occupancy telemetry (obs::Telemetry owns the
+     * sinks). Null (the default) keeps the path cost at one pointer
+     * test per enqueue.
+     */
+    void setTelemetry(const obs::WritePathTelemetry *t)
+    {
+        telemetry_ = t;
     }
 
     // ---- Writeback flow ----
@@ -168,6 +179,7 @@ class WritePath : public Auditable
     bool refreshRetryPending_ = false;
 
     std::function<void(Addr)> refreshDropped_;
+    const obs::WritePathTelemetry *telemetry_ = nullptr;
 
     stats::Scalar *statWritebackBlocked_ = nullptr;
     stats::Scalar *statRefreshOverflows_ = nullptr;

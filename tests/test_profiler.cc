@@ -60,12 +60,50 @@ TEST(Profiler, ExclusiveTimeSubtractsDirectChildrenOnly)
     p.writeJson(json);
 
     // a excl = 100-40 (only a.b is a direct child, not a.b.c);
-    // a.b excl = 40-10; a.b.c excl = 10.
+    // a.b excl = 40-10; a.b.c excl = 10. Percentages are of the
+    // root-scope total (a's 100 ns), and integral values print
+    // without a fraction.
     EXPECT_EQ(os.str(),
-              "{\"a\":{\"calls\":1,\"totalNs\":100,\"exclusiveNs\":60},"
-              "\"a.b\":{\"calls\":1,\"totalNs\":40,\"exclusiveNs\":30},"
+              "{\"a\":{\"calls\":1,\"totalNs\":100,\"exclusiveNs\":60,"
+              "\"percentOfTotal\":100},"
+              "\"a.b\":{\"calls\":1,\"totalNs\":40,\"exclusiveNs\":30,"
+              "\"percentOfTotal\":40},"
               "\"a.b.c\":{\"calls\":1,\"totalNs\":10,"
-              "\"exclusiveNs\":10}}");
+              "\"exclusiveNs\":10,\"percentOfTotal\":10}}");
+}
+
+TEST(Profiler, PercentOfTotalHandlesDottedRootScopes)
+{
+    // The system profiles under dotted names ("system.run.*") with no
+    // recorded parent; those must act as roots for the percentage
+    // base instead of collapsing the total to zero.
+    Profiler p;
+    p.enter("system.run.warmup");
+    p.leave(25);
+    p.enter("system.run.measure");
+    p.enter("decay");
+    p.leave(15); // system.run.measure.decay, nested -> not a root
+    p.leave(75);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    p.writeJson(json);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"system.run.measure\":{\"calls\":1,"
+                       "\"totalNs\":75,\"exclusiveNs\":60,"
+                       "\"percentOfTotal\":75}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"system.run.warmup\":{\"calls\":1,"
+                       "\"totalNs\":25,\"exclusiveNs\":25,"
+                       "\"percentOfTotal\":25}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"system.run.measure.decay\":{\"calls\":1,"
+                       "\"totalNs\":15,\"exclusiveNs\":15,"
+                       "\"percentOfTotal\":15}"),
+              std::string::npos)
+        << out;
 }
 
 TEST(Profiler, SiblingsWithSharedPrefixNamesStayDistinct)

@@ -67,6 +67,8 @@ TEST(RrmLint, FixtureTreeReportsExactRuleIdsAndLines)
         {"src/rrm/stats_hygiene.cc", 14, "stats-formula-operand"},
         {"src/rrm/stats_hygiene.cc", 16, "stats-trace-category"},
         {"src/rrm/stats_hygiene.hh", 14, "stats-register-once"},
+        {"src/run/clock_seam.cc", 11, "det-monotonic-clock"},
+        {"src/run/clock_seam.cc", 14, "det-monotonic-clock"},
         {"src/sim/det_unordered.cc", 14, "det-unordered-iter"},
         {"src/sim/det_unordered.cc", 22, "det-unordered-iter"},
         {"src/sim/upward_include.cc", 4, "layer-upward-include"},

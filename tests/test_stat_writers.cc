@@ -149,6 +149,74 @@ TEST(StatWriters, CsvGoldenFile)
               "system.pcm.lat::>= 100,0,latency\n");
 }
 
+namespace
+{
+
+/** A separate tree for the histogram stat kind (buildTree predates
+ *  it; its golden strings must stay frozen). */
+void
+buildHistogramTree(stats::StatGroup &root)
+{
+    stats::HistogramStat &h = root.addHistogram("lat", "latency");
+    h.add(0);
+    h.add(1);
+    h.add(5);
+    h.add(6);
+}
+
+} // namespace
+
+TEST(StatWriters, HistogramJsonGoldenFormat)
+{
+    stats::StatGroup root("telemetry");
+    buildHistogramTree(root);
+
+    std::ostringstream os;
+    writeStatsJson(os, root, /*pretty=*/false);
+    EXPECT_EQ(os.str(),
+              "{\"lat\":{\"samples\":4,\"mean\":3,\"min\":0,\"max\":6,"
+              "\"buckets\":{\"0\":1,\"[1,2)\":1,\"[4,8)\":2}}}\n");
+}
+
+TEST(StatWriters, HistogramCsvGoldenFormat)
+{
+    stats::StatGroup root("telemetry");
+    buildHistogramTree(root);
+
+    std::ostringstream os;
+    writeStatsCsv(os, root);
+    // Bucket labels contain commas, so those stat names are quoted.
+    EXPECT_EQ(os.str(),
+              "stat,value,description\n"
+              "telemetry.lat::samples,4,latency\n"
+              "telemetry.lat::mean,3,latency\n"
+              "telemetry.lat::min,0,latency\n"
+              "telemetry.lat::max,6,latency\n"
+              "telemetry.lat::0,1,latency\n"
+              "\"telemetry.lat::[1,2)\",1,latency\n"
+              "\"telemetry.lat::[4,8)\",2,latency\n");
+}
+
+TEST(StatWriters, HistogramTextDumpListsMomentsAndBuckets)
+{
+    stats::StatGroup root("telemetry");
+    buildHistogramTree(root);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    for (const char *needle :
+         {"telemetry.lat::samples", "telemetry.lat::mean",
+          "telemetry.lat::min", "telemetry.lat::max",
+          "telemetry.lat::0", "telemetry.lat::[1,2)",
+          "telemetry.lat::[4,8)"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing line: " << needle;
+    }
+    // Empty buckets are elided, not printed as zeros.
+    EXPECT_EQ(text.find("telemetry.lat::[2,4)"), std::string::npos);
+}
+
 TEST(StatWriters, ReExportIsByteIdentical)
 {
     stats::StatGroup root("system");

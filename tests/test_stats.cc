@@ -191,5 +191,102 @@ TEST(StatGroup, FindFallsBackToWholePathStatNames)
     EXPECT_EQ(root.find("mem.reads"), &odd);
 }
 
+TEST(HistogramStat, BucketGeometryIsLog2)
+{
+    EXPECT_EQ(HistogramStat::bucketOf(0), 0u);
+    EXPECT_EQ(HistogramStat::bucketOf(1), 1u);
+    EXPECT_EQ(HistogramStat::bucketOf(2), 2u);
+    EXPECT_EQ(HistogramStat::bucketOf(3), 2u);
+    EXPECT_EQ(HistogramStat::bucketOf(4), 3u);
+    EXPECT_EQ(HistogramStat::bucketOf(7), 3u);
+    EXPECT_EQ(HistogramStat::bucketOf(8), 4u);
+    EXPECT_EQ(HistogramStat::bucketOf(1023), 10u);
+    EXPECT_EQ(HistogramStat::bucketOf(1024), 11u);
+    EXPECT_EQ(HistogramStat::bucketOf(~std::uint64_t(0)), 64u);
+    static_assert(HistogramStat::kNumBuckets == 65);
+}
+
+TEST(HistogramStat, BucketLabelsAreDeterministic)
+{
+    EXPECT_EQ(HistogramStat::bucketLabel(0), "0");
+    EXPECT_EQ(HistogramStat::bucketLabel(1), "[1,2)");
+    EXPECT_EQ(HistogramStat::bucketLabel(2), "[2,4)");
+    EXPECT_EQ(HistogramStat::bucketLabel(3), "[4,8)");
+    EXPECT_EQ(HistogramStat::bucketLabel(64),
+              "[9223372036854775808,inf)");
+    EXPECT_THROW(HistogramStat::bucketLabel(65), PanicError);
+}
+
+TEST(HistogramStat, AccumulatesMomentsAndCounts)
+{
+    StatGroup g("g");
+    HistogramStat &h = g.addHistogram("lat", "latency");
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.minSample(), 0u); // empty: both extremes read 0
+    EXPECT_EQ(h.maxSample(), 0u);
+
+    h.add(0);
+    h.add(1);
+    h.add(5);
+    h.add(6, 2); // weighted: two samples of value 6
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 18.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.6);
+    EXPECT_EQ(h.minSample(), 0u);
+    EXPECT_EQ(h.maxSample(), 6u);
+    EXPECT_EQ(h.count(0), 1u); // the zero
+    EXPECT_EQ(h.count(1), 1u); // [1,2)
+    EXPECT_EQ(h.count(2), 0u); // [2,4)
+    EXPECT_EQ(h.count(3), 3u); // [4,8): 5, 6, 6
+}
+
+TEST(HistogramStat, ResetClearsEverything)
+{
+    StatGroup g("g");
+    HistogramStat &h = g.addHistogram("h", "d");
+    h.add(42);
+    g.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.minSample(), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+    for (std::size_t i = 0; i < HistogramStat::kNumBuckets; ++i)
+        EXPECT_EQ(h.count(i), 0u);
+}
+
+TEST(HistogramStat, VisitorDispatchesToHistogramCallback)
+{
+    struct Probe : StatVisitor
+    {
+        void visitScalar(const std::string &, const Scalar &) override {}
+        void visitVector(const std::string &,
+                         const VectorStat &) override
+        {}
+        void visitFormula(const std::string &, const Formula &) override
+        {}
+        void visitDistribution(const std::string &,
+                               const DistributionStat &) override
+        {}
+        void
+        visitHistogram(const std::string &path,
+                       const HistogramStat &stat) override
+        {
+            paths.push_back(path);
+            samples += stat.samples();
+        }
+        std::vector<std::string> paths;
+        std::uint64_t samples = 0;
+    };
+
+    StatGroup g("g");
+    g.addHistogram("h", "d").add(9);
+    Probe probe;
+    g.visit(probe);
+    ASSERT_EQ(probe.paths.size(), 1u);
+    EXPECT_EQ(probe.paths[0], "g.h");
+    EXPECT_EQ(probe.samples, 1u);
+}
+
 } // namespace
 } // namespace rrm::stats

@@ -1,0 +1,17 @@
+// Seeds det-monotonic-clock (steady/high-resolution clock reads
+// outside the sanctioned obs seams).
+#include <chrono>
+
+// Deliberately unsuppressed.
+struct Stopwatch
+{
+    double
+    elapsed()
+    {
+        const auto now = std::chrono::steady_clock::now(); // line 11
+        return std::chrono::duration<double>(
+                   now -
+                   std::chrono::high_resolution_clock::now()) // line 14
+            .count();
+    }
+};

@@ -271,9 +271,9 @@ buildSymbols(Unit &unit, std::vector<StatRegistration> &regs)
     static const std::regex tickDecl(R"(\bTick\s+([A-Za-z_]\w*))");
     static const std::regex cycleDecl(R"(\bCycles\s+([A-Za-z_]\w*))");
     static const std::regex statDecl(
-        R"(stats::(Scalar|VectorStat|Formula|DistributionStat)\s*\*\s*([A-Za-z_]\w*)\s*(?:=\s*nullptr\s*)?;)");
+        R"(stats::(Scalar|VectorStat|Formula|DistributionStat|HistogramStat)\s*\*\s*([A-Za-z_]\w*)\s*(?:=\s*nullptr\s*)?;)");
     static const std::regex statReg(
-        R"(\b([A-Za-z_]\w*)\s*=\s*&[^;=]{0,160}?\badd(Scalar|Vector|Formula|Distribution)\s*\()");
+        R"(\b([A-Za-z_]\w*)\s*=\s*&[^;=]{0,160}?\badd(Scalar|Vector|Formula|Distribution|Histogram)\s*\()");
     for (SourceFile *f : unit.files) {
         const std::string &s = f->joined;
         for (auto it = std::sregex_iterator(s.begin(), s.end(),
@@ -429,6 +429,21 @@ struct Engine
     }
 
     void
+    detMonotonicClock(SourceFile &f)
+    {
+        const auto &seams = config.monotonicSeamFiles;
+        if (std::find(seams.begin(), seams.end(), f.rel) != seams.end())
+            return;
+        static const std::regex monoClock(
+            R"(steady_clock|high_resolution_clock)");
+        scanLines(f, monoClock, "det-monotonic-clock",
+                  "monotonic-clock read outside the sanctioned seams; "
+                  "route through obs::monotonicSeconds() so "
+                  "SOURCE_DATE_EPOCH pins wall metrics to zero and "
+                  "seeded outputs stay byte-identical across --jobs");
+    }
+
+    void
     detRandom(SourceFile &f)
     {
         static const std::regex ambientRandom(
@@ -458,7 +473,8 @@ struct Engine
             {"Scalar", "Scalar"},
             {"VectorStat", "Vector"},
             {"Formula", "Formula"},
-            {"DistributionStat", "Distribution"}};
+            {"DistributionStat", "Distribution"},
+            {"HistogramStat", "Histogram"}};
         for (const auto &[name, kind] : unit.statMembers) {
             std::vector<const StatRegistration *> mine;
             for (const StatRegistration &r : regs)
@@ -766,6 +782,8 @@ defaultConfig()
                          "StartGap",     "Sampler",  "Fault"};
     c.schemeFactoryFiles = {"src/system/scheme.hh",
                             "src/system/scheme.cc"};
+    c.monotonicSeamFiles = {"src/obs/profiler.hh",
+                            "src/obs/run_record.cc"};
     return c;
 }
 
@@ -809,6 +827,9 @@ ruleCatalog()
          "stats, output, or decisions"},
         {"det-wall-clock",
          "no wall-clock reads outside obs::wallClockSeconds()"},
+        {"det-monotonic-clock",
+         "no steady/high-resolution clock reads outside "
+         "obs::monotonicSeconds() and the self-profiler"},
         {"det-random",
          "no std::rand/random_device; use the seeded rrm::Random"},
         {"det-pointer-key",
@@ -877,6 +898,7 @@ lintFiles(const std::string &root, const std::vector<std::string> &files,
         for (SourceFile *f : unit.files) {
             engine.checkDirectives(*f);
             engine.detWallClock(*f);
+            engine.detMonotonicClock(*f);
             engine.detRandom(*f);
             engine.detPointerKey(*f);
             engine.statsTraceCategory(*f);

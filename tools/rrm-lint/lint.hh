@@ -78,6 +78,10 @@ struct Config
     /** File (root-relative) that declares the RRM_TRACE macro and the
      *  TraceCategory enum; exempt from the trace-category rule. */
     std::string traceDeclFile = "src/obs/trace.hh";
+
+    /** Files (root-relative) allowed to read the monotonic clock —
+     *  the obs::monotonicSeconds() seam and the self-profiler. */
+    std::vector<std::string> monotonicSeamFiles;
 };
 
 /** The repo's canonical configuration. */
