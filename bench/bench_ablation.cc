@@ -38,45 +38,34 @@ main(int argc, char **argv)
     };
 
     // ---- One plan covering all three ablations ----
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (const auto &w : workloads) {
         for (bool filter : {true, false}) {
-            const std::string id = w.name + ".rrm-filter-" +
-                                   (filter ? "on" : "off");
-            plan.add(bench::makeConfig(
-                         w, rrm_scheme, opts,
-                         [filter](sys::SystemConfig &cfg) {
-                             cfg.rrm.dirtyWriteFilter = filter;
-                         },
-                         id),
-                     id);
+            plan.run(w, rrm_scheme)
+                .tag(w.name + ".rrm-filter-" + (filter ? "on" : "off"))
+                .with([filter](sys::SystemConfig &cfg) {
+                    cfg.rrm.dirtyWriteFilter = filter;
+                });
         }
         for (const auto &scheme : {s7, rrm_scheme}) {
             for (bool pausing : {true, false}) {
-                const std::string id = w.name + "." + scheme.name() +
-                                       ".pause-" +
-                                       (pausing ? "on" : "off");
-                plan.add(bench::makeConfig(
-                             w, scheme, opts,
-                             [pausing](sys::SystemConfig &cfg) {
-                                 cfg.memory.writePausing = pausing;
-                             },
-                             id),
-                         id);
+                plan.run(w, scheme)
+                    .tag(w.name + "." + scheme.name() + ".pause-" +
+                         (pausing ? "on" : "off"))
+                    .with([pausing](sys::SystemConfig &cfg) {
+                        cfg.memory.writePausing = pausing;
+                    });
             }
         }
         for (const auto &[mode, label] : modes) {
-            const std::string id = w.name + ".rrm-rt-" + label;
-            plan.add(bench::makeConfig(
-                         w, rrm_scheme, opts,
-                         [mode = mode](sys::SystemConfig &cfg) {
-                             cfg.refreshTiming = mode;
-                         },
-                         id),
-                     id);
+            plan.run(w, rrm_scheme)
+                .tag(w.name + ".rrm-rt-" + label)
+                .with([mode = mode](sys::SystemConfig &cfg) {
+                    cfg.refreshTiming = mode;
+                });
         }
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     // ---- 1. dirty-write filter ----
     bench::printTitle(

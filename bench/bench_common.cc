@@ -158,6 +158,27 @@ benchFlagTable()
              o.fault.refreshStallPeriodSeconds =
                  std::atof(v.c_str()) / 1e3;
          }},
+        {"--trace-cache", nullptr,
+         "materialize instruction streams in memory and reuse them",
+         [](BenchOptions &o, const std::string &) {
+             o.traceMode = trace::TraceMode::Materialized;
+         }},
+        {"--no-trace-cache", nullptr,
+         "generate instruction streams inline (per-record RNG)",
+         [](BenchOptions &o, const std::string &) {
+             o.traceMode = trace::TraceMode::Generate;
+         }},
+        {"--trace-packs", "DIR",
+         "replay .rtp packs from DIR (see tools/trace-pack)",
+         [](BenchOptions &o, const std::string &v) {
+             o.traceMode = trace::TraceMode::Pack;
+             o.tracePackDir = v;
+         }},
+        {"--delay-queues", nullptr,
+         "deliver fixed-latency hops via DelayQueues",
+         [](BenchOptions &o, const std::string &) {
+             o.delayQueues = true;
+         }},
     };
     return table;
 }
@@ -181,7 +202,13 @@ printFlagHelp()
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
-    BenchOptions opts;
+    return parse(argc, argv, BenchOptions{});
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, const BenchOptions &defaults)
+{
+    BenchOptions opts = defaults;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -240,6 +267,98 @@ BenchOptions::runnerOptions() const
     return ro;
 }
 
+trace::TraceCache &
+globalTraceCache()
+{
+    static trace::TraceCache cache;
+    return cache;
+}
+
+PlanBuilder &
+PlanBuilder::run(const trace::Workload &workload,
+                 const sys::Scheme &scheme)
+{
+    flush();
+    pendingActive_ = true;
+    pendingWorkload_ = workload;
+    pendingScheme_ = scheme;
+    pendingId_.clear();
+    pendingHooks_.clear();
+    pendingPostRun_ = nullptr;
+    return *this;
+}
+
+PlanBuilder &
+PlanBuilder::tag(std::string id)
+{
+    RRM_ASSERT(pendingActive_, "PlanBuilder::tag() without run()");
+    pendingId_ = std::move(id);
+    return *this;
+}
+
+PlanBuilder &
+PlanBuilder::with(ConfigHook hook)
+{
+    RRM_ASSERT(pendingActive_, "PlanBuilder::with() without run()");
+    pendingHooks_.push_back(std::move(hook));
+    return *this;
+}
+
+PlanBuilder &
+PlanBuilder::postRun(run::PostRunHook hook)
+{
+    RRM_ASSERT(pendingActive_, "PlanBuilder::postRun() without run()");
+    pendingPostRun_ = std::move(hook);
+    return *this;
+}
+
+PlanBuilder &
+PlanBuilder::matrix(const std::vector<trace::Workload> &workloads,
+                    const std::vector<sys::Scheme> &schemes,
+                    const ConfigHook &hook)
+{
+    for (const auto &w : workloads)
+        for (const auto &s : schemes) {
+            run(w, s);
+            if (hook)
+                with(hook);
+        }
+    return *this;
+}
+
+void
+PlanBuilder::flush()
+{
+    if (!pendingActive_)
+        return;
+    pendingActive_ = false;
+    auto hooks = std::move(pendingHooks_);
+    const ConfigHook combined = hooks.empty()
+        ? ConfigHook{}
+        : [hooks](sys::SystemConfig &cfg) {
+              for (const auto &h : hooks)
+                  h(cfg);
+          };
+    run::RunSpec &spec =
+        plan_.add(makeConfig(pendingWorkload_, *pendingScheme_, opts_,
+                             combined, pendingId_),
+                  pendingId_);
+    spec.postRun = std::move(pendingPostRun_);
+}
+
+run::RunPlan
+PlanBuilder::build()
+{
+    flush();
+    return std::move(plan_);
+}
+
+run::RunReport
+PlanBuilder::execute()
+{
+    return runPlan(build(), opts_);
+}
+
 sys::SystemConfig
 makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
            const BenchOptions &opts, const ConfigHook &hook,
@@ -253,6 +372,11 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
     cfg.warmupFraction = opts.warmupFraction;
     cfg.seed = opts.seed;
     cfg.fault = opts.fault;
+    cfg.traceMode = opts.traceMode;
+    if (cfg.traceMode == trace::TraceMode::Materialized)
+        cfg.traceCache = &globalTraceCache();
+    cfg.tracePackDir = opts.tracePackDir;
+    cfg.useDelayQueues = opts.delayQueues;
 
     const std::string run_tag =
         tag.empty() ? workload.name + "." + scheme.name() : tag;
@@ -282,11 +406,8 @@ buildMatrixPlan(const std::vector<trace::Workload> &workloads,
                 const std::vector<sys::Scheme> &schemes,
                 const BenchOptions &opts, const ConfigHook &hook)
 {
-    return run::RunPlan::matrix(
-        workloads, schemes,
-        [&](const trace::Workload &w, const sys::Scheme &s) {
-            return makeConfig(w, s, opts, hook);
-        });
+    PlanBuilder builder(opts);
+    return builder.matrix(workloads, schemes, hook).build();
 }
 
 run::RunReport

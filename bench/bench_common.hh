@@ -12,6 +12,7 @@
 #define RRM_BENCH_BENCH_COMMON_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,11 +83,34 @@ struct BenchOptions
     fault::FaultConfig fault;
 
     /**
+     * Instruction-stream source for every run (--trace-cache /
+     * --no-trace-cache / --trace-packs). All modes are byte-identical
+     * in results; Materialized and Pack trade memory for generation
+     * work, which pays off when many runs replay few streams. The
+     * default everywhere is Generate — the inline generator is cheap
+     * enough that replay only wins on heavily repeated plans.
+     */
+    trace::TraceMode traceMode = trace::TraceMode::Generate;
+
+    /** Pack directory for TraceMode::Pack (--trace-packs). */
+    std::string tracePackDir;
+
+    /**
+     * Route fixed-latency hops through DelayQueues (--delay-queues);
+     * see SystemConfig::useDelayQueues for the equivalence caveat.
+     */
+    bool delayQueues = false;
+
+    /**
      * Parse argv against the declarative flag table (see
      * benchFlagTable() in bench_common.cc); --help prints the
-     * generated usage text and exits.
+     * generated usage text and exits. `defaults` seeds the options a
+     * bench wants to differ on (e.g. bench_speed turns the trace
+     * cache on) while still letting flags override.
      */
     static BenchOptions parse(int argc, char **argv);
+    static BenchOptions parse(int argc, char **argv,
+                              const BenchOptions &defaults);
 
     /** Workloads selected by the options. */
     std::vector<trace::Workload> selectedWorkloads() const;
@@ -97,6 +121,76 @@ struct BenchOptions
 
 /** Hook to adjust the SystemConfig before a run (sweep knobs). */
 using ConfigHook = std::function<void(sys::SystemConfig &)>;
+
+/**
+ * The process-wide materialized-stream cache every bench run shares
+ * when BenchOptions::traceMode is Materialized (runs of one plan
+ * reuse each other's generated streams).
+ */
+trace::TraceCache &globalTraceCache();
+
+/**
+ * Fluent RunPlan construction. A builder replaces the
+ * loop-plus-makeConfig boilerplate of the sweep benches:
+ *
+ *     bench::PlanBuilder plan(opts);
+ *     for (const auto &w : workloads) {
+ *         plan.run(w, rrm).tag(w.name + ".rrm-t8")
+ *             .with([](sys::SystemConfig &c) { c.rrm.hotThreshold = 8; });
+ *     }
+ *     const run::RunReport report = plan.execute();
+ *
+ * run() starts a pending run; tag()/with()/postRun() modify it; the
+ * next run() (or build()/execute()) finalizes it via makeConfig, so
+ * the id set by tag() also names the run's observability outputs.
+ * with() hooks compose in call order.
+ *
+ * Because hooks execute at finalization (not at the with() call),
+ * capture sweep variables BY VALUE — a by-reference capture of a loop
+ * counter would read the next iteration's value.
+ */
+class PlanBuilder
+{
+  public:
+    explicit PlanBuilder(const BenchOptions &opts) : opts_(opts) {}
+
+    /** Start one (workload, scheme) run. */
+    PlanBuilder &run(const trace::Workload &workload,
+                     const sys::Scheme &scheme);
+
+    /** Set the pending run's id (default "<workload>.<scheme>"). */
+    PlanBuilder &tag(std::string id);
+
+    /** Append a config tweak to the pending run. */
+    PlanBuilder &with(ConfigHook hook);
+
+    /** Attach a post-run inspection hook to the pending run. */
+    PlanBuilder &postRun(run::PostRunHook hook);
+
+    /** Append the whole workload x scheme matrix with default ids. */
+    PlanBuilder &matrix(const std::vector<trace::Workload> &workloads,
+                        const std::vector<sys::Scheme> &schemes,
+                        const ConfigHook &hook = {});
+
+    /** Finalize the pending run and return the plan. */
+    run::RunPlan build();
+
+    /** build() and execute with the options' runner policy. */
+    run::RunReport execute();
+
+  private:
+    void flush();
+
+    const BenchOptions &opts_;
+    run::RunPlan plan_;
+
+    bool pendingActive_ = false;
+    trace::Workload pendingWorkload_;
+    std::optional<sys::Scheme> pendingScheme_;
+    std::string pendingId_;
+    std::vector<ConfigHook> pendingHooks_;
+    run::PostRunHook pendingPostRun_;
+};
 
 /**
  * Build the SystemConfig for one run. `tag` names this run's per-run

@@ -59,25 +59,20 @@ main(int argc, char **argv)
         {1e-3, "1e-3"},
     };
 
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (const auto &workload : workloads) {
         for (const auto &scheme : schemes) {
             for (const auto &point : rates) {
-                const std::string id = runId(workload, scheme, point);
-                plan.add(
-                    bench::makeConfig(
-                        workload, scheme, opts,
-                        [&](sys::SystemConfig &cfg) {
-                            cfg.fault.retentionTracking = true;
-                            cfg.fault.transientWriteFailureRate =
-                                point.rate;
-                        },
-                        id),
-                    id);
+                plan.run(workload, scheme)
+                    .tag(runId(workload, scheme, point))
+                    .with([rate = point.rate](sys::SystemConfig &cfg) {
+                        cfg.fault.retentionTracking = true;
+                        cfg.fault.transientWriteFailureRate = rate;
+                    });
             }
         }
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     bench::printTitle(
         "Fault sweep: retention violations and write-retry recovery");

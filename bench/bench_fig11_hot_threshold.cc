@@ -29,23 +29,20 @@ main(int argc, char **argv)
 
     // One plan: the two static anchors plus the four-threshold RRM
     // sweep, per workload. Sweep runs carry the threshold in the id.
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (const auto &workload : workloads) {
-        plan.add(bench::makeConfig(workload, s7, opts));
-        plan.add(bench::makeConfig(workload, s3, opts));
+        plan.run(workload, s7);
+        plan.run(workload, s3);
         for (unsigned threshold : thresholds) {
-            const std::string id =
-                workload.name + ".rrm-t" + std::to_string(threshold);
-            plan.add(bench::makeConfig(
-                         workload, sys::Scheme::rrmScheme(), opts,
-                         [threshold](sys::SystemConfig &cfg) {
-                             cfg.rrm.hotThreshold = threshold;
-                         },
-                         id),
-                     id);
+            plan.run(workload, sys::Scheme::rrmScheme())
+                .tag(workload.name + ".rrm-t" +
+                     std::to_string(threshold))
+                .with([threshold](sys::SystemConfig &cfg) {
+                    cfg.rrm.hotThreshold = threshold;
+                });
         }
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     bench::printTitle(
         "Figure 11: controlling RRM aggressiveness via hot_threshold");

@@ -45,22 +45,18 @@ main(int argc, char **argv)
                 "384 KB/6.25%%.\n");
 
     // ---- Figure 12: one plan over the coverage sweep ----
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (const auto &workload : workloads) {
         for (std::size_t i = 0; i < 4; ++i) {
             const unsigned sets = set_counts[i];
-            const std::string id =
-                workload.name + ".rrm-cov" + labels[i];
-            plan.add(bench::makeConfig(
-                         workload, sys::Scheme::rrmScheme(), opts,
-                         [sets](sys::SystemConfig &cfg) {
-                             cfg.rrm.numSets = sets;
-                         },
-                         id),
-                     id);
+            plan.run(workload, sys::Scheme::rrmScheme())
+                .tag(workload.name + ".rrm-cov" + labels[i])
+                .with([sets](sys::SystemConfig &cfg) {
+                    cfg.rrm.numSets = sets;
+                });
         }
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     bench::printTitle(
         "Figure 12: sensitivity to the LLC coverage rate of RRM");

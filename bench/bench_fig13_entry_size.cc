@@ -30,24 +30,21 @@ main(int argc, char **argv)
                "K";
     };
 
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (const auto &workload : workloads) {
         for (std::uint64_t region : sizes) {
-            const std::string id = idFor(workload, region);
-            plan.add(bench::makeConfig(
-                         workload, sys::Scheme::rrmScheme(), opts,
-                         [region](sys::SystemConfig &cfg) {
-                             cfg.rrm.regionBytes = region;
-                             // Hold 24 MB total coverage: sets scale
-                             // inversely with the entry size.
-                             cfg.rrm.numSets = static_cast<unsigned>(
-                                 24_MiB / (region * cfg.rrm.assoc));
-                         },
-                         id),
-                     id);
+            plan.run(workload, sys::Scheme::rrmScheme())
+                .tag(idFor(workload, region))
+                .with([region](sys::SystemConfig &cfg) {
+                    cfg.rrm.regionBytes = region;
+                    // Hold 24 MB total coverage: sets scale
+                    // inversely with the entry size.
+                    cfg.rrm.numSets = static_cast<unsigned>(
+                        24_MiB / (region * cfg.rrm.assoc));
+                });
         }
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     bench::printTitle(
         "Figure 13: sensitivity to the entry coverage size of RRM");

@@ -34,9 +34,9 @@ main(int argc, char **argv)
         sys::Scheme::rrmScheme(),
     };
 
-    const run::RunPlan plan =
-        bench::buildMatrixPlan(workloads, schemes, opts);
-    const run::RunReport report = bench::runPlan(plan, opts);
+    bench::PlanBuilder builder(opts);
+    const run::RunReport report =
+        builder.matrix(workloads, schemes).execute();
 
     bench::printTitle("Simulator throughput (host-side)");
     std::printf("%-28s %14s %10s %12s\n", "run", "events", "wall s",

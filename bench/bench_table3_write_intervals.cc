@@ -47,27 +47,27 @@ main(int argc, char **argv)
     // its own capture slot, so the plan stays safe under --jobs > 1.
     auto captures =
         std::make_shared<std::vector<ProfileCapture>>(workloads.size());
-    run::RunPlan plan;
+    bench::PlanBuilder plan(opts);
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-        run::RunSpec &spec = plan.add(bench::makeConfig(
-            workloads[i], s7, opts, [](sys::SystemConfig &cfg) {
+        plan.run(workloads[i], s7)
+            .with([](sys::SystemConfig &cfg) {
                 cfg.profileRegionWrites = true;
-            }));
-        spec.postRun = [captures, i](const sys::System &system,
-                                     const sys::SimResults &) {
-            const sys::RegionWriteProfiler *prof =
-                system.regionProfiler();
-            ProfileCapture &cap = (*captures)[i];
-            cap.buckets = prof->regionsByMeanInterval();
-            cap.totalRegions = prof->totalRegions();
-            cap.totalWrites = prof->totalWrites();
-            cap.writtenOnce = prof->writtenOnceRegions();
-            cap.neverWritten = prof->neverWrittenRegions();
-            cap.hot90 = prof->hotRegionFraction(0.90);
-            cap.hot97 = prof->hotRegionFraction(0.97);
-        };
+            })
+            .postRun([captures, i](const sys::System &system,
+                                   const sys::SimResults &) {
+                const sys::RegionWriteProfiler *prof =
+                    system.regionProfiler();
+                ProfileCapture &cap = (*captures)[i];
+                cap.buckets = prof->regionsByMeanInterval();
+                cap.totalRegions = prof->totalRegions();
+                cap.totalWrites = prof->totalWrites();
+                cap.writtenOnce = prof->writtenOnceRegions();
+                cap.neverWritten = prof->neverWrittenRegions();
+                cap.hot90 = prof->hotRegionFraction(0.90);
+                cap.hot97 = prof->hotRegionFraction(0.97);
+            });
     }
-    const run::RunReport report = bench::runPlan(plan, opts);
+    const run::RunReport report = plan.execute();
 
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const auto &workload = workloads[i];

@@ -68,7 +68,9 @@ Cache::access(Addr addr)
 {
     Line *line = findLine(addr);
     if (line) {
-        line->stamp = policy_->onTouch(line->stamp);
+        if (config_.replacement == ReplacementKind::LRU)
+            line->stamp = ++replClock_;
+        // FIFO and Random leave the stamp untouched.
         if (statHits_)
             ++*statHits_;
         return true;
@@ -81,27 +83,38 @@ Cache::access(Addr addr)
 Victim
 Cache::allocate(Addr addr, int owner)
 {
-    RRM_ASSERT(!contains(addr), "allocate() of a present line in '",
-               config_.name, "'");
     const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
     Line *base = &lines_[set * config_.assoc];
 
+    // One pass both picks the first free way and enforces the
+    // not-already-present contract (no separate contains() walk).
     Line *slot = nullptr;
     for (unsigned w = 0; w < config_.assoc; ++w) {
         if (!base[w].valid) {
-            slot = &base[w];
-            break;
+            if (!slot)
+                slot = &base[w];
+            continue;
         }
+        RRM_ASSERT(base[w].tag != tag,
+                   "allocate() of a present line in '", config_.name,
+                   "'");
     }
 
     Victim victim;
     if (!slot) {
-        // All ways valid: consult the replacement policy.
-        std::uint64_t stamps[64];
-        RRM_ASSERT(config_.assoc <= 64, "associativity above stamp buffer");
-        for (unsigned w = 0; w < config_.assoc; ++w)
-            stamps[w] = base[w].stamp;
-        const unsigned w = policy_->victim(stamps, config_.assoc);
+        // All ways valid: pick the victim. LRU and FIFO both evict
+        // the minimum stamp, scanned inline; Random keeps its RNG in
+        // the policy object.
+        unsigned w;
+        if (config_.replacement == ReplacementKind::Random) {
+            w = policy_->victim(nullptr, config_.assoc);
+        } else {
+            w = 0;
+            for (unsigned v = 1; v < config_.assoc; ++v)
+                if (base[v].stamp < base[w].stamp)
+                    w = v;
+        }
         slot = &base[w];
         victim.valid = true;
         victim.addr = slot->tag << lineShift_;
@@ -113,11 +126,13 @@ Cache::allocate(Addr addr, int owner)
             ++*statDirtyEvictions_;
     }
 
-    slot->tag = tagOf(addr);
+    slot->tag = tag;
     slot->valid = true;
     slot->dirty = false;
     slot->owner = owner;
-    slot->stamp = policy_->onInsert();
+    slot->stamp = config_.replacement == ReplacementKind::Random
+                      ? 0
+                      : ++replClock_;
     return victim;
 }
 

@@ -148,6 +148,14 @@ class Cache : public Auditable
     std::unique_ptr<ReplacementPolicy> policy_;
     std::uint64_t accessCounter_ = 0;
 
+    /**
+     * LRU/FIFO stamp clock, kept inline so the per-access touch and
+     * the victim scan skip the virtual policy dispatch. Produces the
+     * same stamp sequence the policy objects would; policy_ is only
+     * consulted for Random victims (it owns the RNG state).
+     */
+    std::uint64_t replClock_ = 0;
+
     stats::Scalar *statHits_ = nullptr;
     stats::Scalar *statMisses_ = nullptr;
     stats::Scalar *statEvictions_ = nullptr;

@@ -9,12 +9,12 @@ namespace rrm::cpu
 {
 
 CoreModel::CoreModel(unsigned id, const CoreParams &params,
-                     trace::TraceGenerator generator,
+                     trace::TraceSource source,
                      cache::CacheHierarchy &hierarchy, CorePort &port,
                      EventQueue &queue, Addr addr_base)
     : id_(id),
       params_(params),
-      generator_(std::move(generator)),
+      source_(std::move(source)),
       hierarchy_(hierarchy),
       port_(port),
       queue_(queue),
@@ -24,6 +24,7 @@ CoreModel::CoreModel(unsigned id, const CoreParams &params,
     RRM_ASSERT(params_.robSize >= 1, "ROB must be non-empty");
     RRM_ASSERT(params_.maxOutstandingMisses >= 1,
                "need at least one MSHR");
+    outstanding_.resize(params_.maxOutstandingMisses);
 }
 
 void
@@ -42,14 +43,22 @@ CoreModel::scheduleAdvance(Tick when)
         when, [this] { advance(); }, EventPriority::CpuTick);
 }
 
+CoreModel::OutstandingFill *
+CoreModel::findOutstanding(Addr line)
+{
+    for (auto &fill : outstanding_)
+        if (fill.valid && fill.line == line)
+            return &fill;
+    return nullptr;
+}
+
 std::uint64_t
 CoreModel::oldestOutstandingLoad() const
 {
     std::uint64_t oldest = ~std::uint64_t(0);
-    // rrm-lint: allow(det-unordered-iter) min-reduction is order
-    // independent; outstanding_ sits on the per-miss hot path
-    for (const auto &[line, fill] : outstanding_) {
-        if (!fill.loadInstrs.empty() && fill.loadInstrs.front() < oldest)
+    for (const auto &fill : outstanding_) {
+        if (fill.valid && !fill.loadInstrs.empty() &&
+            fill.loadInstrs.front() < oldest)
             oldest = fill.loadInstrs.front();
     }
     return oldest;
@@ -69,17 +78,16 @@ CoreModel::processPendingMiss()
 {
     RRM_ASSERT(hasPending_, "no pending miss to process");
 
-    const auto it = outstanding_.find(pendingLine_);
-    if (it != outstanding_.end()) {
+    if (OutstandingFill *hit = findOutstanding(pendingLine_)) {
         // MSHR merge: piggyback on the in-flight fill.
-        it->second.isWrite |= pendingIsWrite_;
+        hit->isWrite |= pendingIsWrite_;
         if (!pendingIsWrite_)
-            it->second.loadInstrs.push_back(pendingInstr_);
+            hit->loadInstrs.push_back(pendingInstr_);
         hasPending_ = false;
         return true;
     }
 
-    if (outstanding_.size() >= params_.maxOutstandingMisses) {
+    if (outstandingCount_ >= params_.maxOutstandingMisses) {
         stall_ = Stall::Mshr;
         if (statMshrStalls_)
             ++*statMshrStalls_;
@@ -94,10 +102,20 @@ CoreModel::processPendingMiss()
         return false;
     }
 
-    OutstandingFill &fill = outstanding_[pendingLine_];
-    fill.isWrite = pendingIsWrite_;
+    OutstandingFill *fill = nullptr;
+    for (auto &slot : outstanding_) {
+        if (!slot.valid) {
+            fill = &slot;
+            break;
+        }
+    }
+    RRM_ASSERT(fill, "MSHR count below limit but no free entry");
+    fill->line = pendingLine_;
+    fill->valid = true;
+    fill->isWrite = pendingIsWrite_;
     if (!pendingIsWrite_)
-        fill.loadInstrs.push_back(pendingInstr_);
+        fill->loadInstrs.push_back(pendingInstr_);
+    ++outstandingCount_;
     hasPending_ = false;
     return true;
 }
@@ -129,7 +147,7 @@ CoreModel::advance()
             return;
         }
 
-        const trace::TraceRecord rec = generator_.next();
+        const trace::TraceRecord rec = source_.next();
         instrCount_ += rec.gapInstructions;
         localTime_ +=
             (Tick(rec.gapInstructions) * params_.cycle) / params_.width;
@@ -175,17 +193,18 @@ CoreModel::advance()
 void
 CoreModel::onFillComplete(Addr line)
 {
-    const auto it = outstanding_.find(line);
-    RRM_ASSERT(it != outstanding_.end(),
-               "fill completion for an unknown line");
+    OutstandingFill *fill = findOutstanding(line);
+    RRM_ASSERT(fill, "fill completion for an unknown line");
 
     // Fill the hierarchy now that the data arrived; route any dirty
     // LLC victim / registration to the system.
     const cache::HierarchyEvents ev =
-        hierarchy_.fill(id_, line, it->second.isWrite);
+        hierarchy_.fill(id_, line, fill->isWrite);
     port_.handleAccessEvents(id_, ev, queue_.now());
 
-    outstanding_.erase(it);
+    fill->valid = false;
+    fill->loadInstrs.clear(); // keeps capacity for reuse
+    --outstandingCount_;
 
     switch (stall_) {
       case Stall::Rob:

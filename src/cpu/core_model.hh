@@ -2,7 +2,8 @@
  * @file
  * Trace-driven out-of-order-approximating core model.
  *
- * The core consumes a synthetic instruction trace (trace::TraceGenerator)
+ * The core consumes a synthetic instruction trace (trace::TraceSource,
+ * which generates inline or replays a materialized/packed stream)
  * and models the properties memory-system studies need (DESIGN.md
  * section 3, substitution 2):
  *
@@ -28,13 +29,12 @@
 #define RRM_CPU_CORE_MODEL_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
-#include "trace/generator.hh"
+#include "trace/source.hh"
 
 namespace rrm::cpu
 {
@@ -94,7 +94,7 @@ class CoreModel
      *                  generator addresses are offset by it.
      */
     CoreModel(unsigned id, const CoreParams &params,
-              trace::TraceGenerator generator,
+              trace::TraceSource source,
               cache::CacheHierarchy &hierarchy, CorePort &port,
               EventQueue &queue, Addr addr_base);
 
@@ -142,8 +142,16 @@ class CoreModel
         Resource, ///< port refused (global backpressure)
     };
 
+    /**
+     * One MSHR. The miss table is a fixed array of
+     * maxOutstandingMisses entries scanned linearly — occupancy is
+     * bounded and tiny (8 by default), so the scan beats hashing, and
+     * freed entries keep their loadInstrs capacity.
+     */
     struct OutstandingFill
     {
+        Addr line = 0;
+        bool valid = false;
         bool isWrite = false;
         /** Dispatch indices of loads waiting on this line. */
         std::vector<std::uint64_t> loadInstrs;
@@ -155,6 +163,9 @@ class CoreModel
     /** Process the pending record's memory stage; false on stall. */
     bool processPendingMiss();
 
+    /** MSHR holding `line`, or nullptr. */
+    OutstandingFill *findOutstanding(Addr line);
+
     /** Oldest outstanding load's dispatch index (or max if none). */
     std::uint64_t oldestOutstandingLoad() const;
 
@@ -162,7 +173,7 @@ class CoreModel
 
     unsigned id_;
     CoreParams params_;
-    trace::TraceGenerator generator_;
+    trace::TraceSource source_;
     cache::CacheHierarchy &hierarchy_;
     CorePort &port_;
     EventQueue &queue_;
@@ -179,7 +190,8 @@ class CoreModel
     bool pendingIsWrite_ = false;
     std::uint64_t pendingInstr_ = 0;
 
-    std::unordered_map<Addr, OutstandingFill> outstanding_;
+    std::vector<OutstandingFill> outstanding_; ///< fixed MSHR array
+    unsigned outstandingCount_ = 0;
 
     stats::Scalar *statInstructions_ = nullptr;
     stats::Scalar *statMemOps_ = nullptr;

@@ -132,7 +132,7 @@ class FaultManager : public Auditable
     std::map<std::uint64_t, std::uint64_t> wearLevel_;
 
     /** One pending event for the earliest retention deadline. */
-    EventQueue::EventId sweepEvent_ = 0;
+    EventHandle sweepEvent_;
     Tick sweepAt_ = 0;
     bool sweepArmed_ = false;
 

@@ -39,6 +39,7 @@ Channel::enqueueRead(Request req)
     RRM_DCHECK(req.kind == ReqKind::Read, "read queue got a ",
                static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    req.loc = map_.decode(req.addr);
     ++enqueued_[static_cast<std::size_t>(ReqKind::Read)];
     readQ_.push_back(std::move(req));
     RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
@@ -46,6 +47,27 @@ Channel::enqueueRead(Request req)
               RRM_TF("readQ", readQ_.size()),
               RRM_TF("writeQ", writeQ_.size()),
               RRM_TF("refreshQ", refreshQ_.size()));
+    if (scanMemoValid_ && scanMemoTick_ == queue_.now()) {
+        // Every other queued request already failed to issue at this
+        // tick under the current bank/bus state, so only the new
+        // arrival needs a try. In write-drain mode the full scan
+        // would not try reads at all, and the memoized retry is
+        // already scheduled, so there is nothing to do.
+        if (writeDrainMode_)
+            return true;
+        Tick earliest = scanMemoEarliest_;
+        if (!tryIssueRead(readQ_.back(), earliest)) {
+            scanMemoEarliest_ = earliest;
+            if (earliest != maxTick)
+                scheduleRetry(earliest);
+            return true;
+        }
+        readQ_.pop_back();
+        // The issue changed bank/bus state; rescan like the full
+        // scheduler loop would after any issue.
+        trySchedule();
+        return true;
+    }
     trySchedule();
     return true;
 }
@@ -58,6 +80,7 @@ Channel::enqueueWrite(Request req)
     RRM_DCHECK(req.kind == ReqKind::Write, "write queue got a ",
                static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    req.loc = map_.decode(req.addr);
     ++enqueued_[static_cast<std::size_t>(ReqKind::Write)];
     writeQ_.push_back(std::move(req));
     RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
@@ -77,6 +100,7 @@ Channel::enqueueRefresh(Request req)
     RRM_DCHECK(req.kind == ReqKind::RrmRefresh, "refresh queue got a ",
                static_cast<int>(req.kind));
     req.enqueueTick = queue_.now();
+    req.loc = map_.decode(req.addr);
     ++enqueued_[static_cast<std::size_t>(ReqKind::RrmRefresh)];
     refreshQ_.push_back(std::move(req));
     RRM_TRACE(traceSink_, queue_.now(), obs::TraceCategory::Queue,
@@ -140,7 +164,7 @@ bool
 Channel::tryIssueRead(const Request &req, Tick &earliest)
 {
     const Tick now = queue_.now();
-    const Location loc = map_.decode(req.addr);
+    const Location &loc = req.loc;
     Bank &bank = banks_[loc.bank];
     if (bank.writing && bank.busyUntil <= now) {
         // The write is done but its completion event fires later this
@@ -209,7 +233,7 @@ Channel::tryIssueWrite(const Request &req, Tick &earliest,
                        bool is_refresh)
 {
     const Tick now = queue_.now();
-    const Location loc = map_.decode(req.addr);
+    const Location &loc = req.loc;
     Bank &bank = banks_[loc.bank];
     if (bank.writing && bank.busyUntil <= now) {
         earliest = std::min(earliest, now);
@@ -267,6 +291,7 @@ Channel::scheduleWriteCheck(unsigned bank_idx, Tick when)
 void
 Channel::writeCheck(unsigned bank_idx)
 {
+    scanMemoValid_ = false; // bank state mutates before the rescan
     Bank &bank = banks_[bank_idx];
     if (queue_.now() < bank.busyUntil) {
         // A pause pushed the pulse train back; check again at the
@@ -284,6 +309,7 @@ Channel::holdRefreshes(Tick until)
 {
     if (until <= refreshHoldUntil_)
         return;
+    scanMemoValid_ = false;
     refreshHoldUntil_ = until;
     if (!refreshQ_.empty())
         scheduleRetry(until);
@@ -327,6 +353,7 @@ Channel::complete(const Request &req, Tick when)
 void
 Channel::trySchedule()
 {
+    scanMemoValid_ = false;
     Tick earliest = maxTick;
     bool issued_any = true;
     while (issued_any) {
@@ -366,7 +393,7 @@ Channel::trySchedule()
             bool issued = false;
             // First serviceable row hit...
             for (auto it = readQ_.begin(); it != readQ_.end(); ++it) {
-                const Location loc = map_.decode(it->addr);
+                const Location &loc = it->loc;
                 const Bank &bank = banks_[loc.bank];
                 if (bank.hasOpenRow && bank.openRow == loc.rowId &&
                     bank.busyUntil <= queue_.now()) {
@@ -412,6 +439,12 @@ Channel::trySchedule()
         earliest != maxTick) {
         scheduleRetry(earliest);
     }
+
+    // The final loop iteration was a complete scan that issued
+    // nothing, so the memo is valid regardless of earlier issues.
+    scanMemoValid_ = true;
+    scanMemoTick_ = queue_.now();
+    scanMemoEarliest_ = earliest;
 }
 
 void
@@ -498,6 +531,8 @@ Channel::audit() const
               ": a completion was delivered in the future");
     RRM_AUDIT(!retryPending_ || retryAt_ >= now, name_,
               ": pending retry scheduled in the past");
+    RRM_AUDIT(!scanMemoValid_ || scanMemoTick_ <= now, name_,
+              ": scan memo recorded in the future");
 }
 
 bool

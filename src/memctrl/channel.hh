@@ -33,9 +33,13 @@ namespace rrm::memctrl
 {
 
 /** Per-completion hook: (request, completion tick). */
+// rrm-lint: allow(perf-hot-std-function) observer seam bound once at
+// construction, not captured per scheduled event
 using CompletionHook = std::function<void(const Request &, Tick)>;
 
 /** Notification that a write left the write queue (backpressure). */
+// rrm-lint: allow(perf-hot-std-function) observer seam bound once at
+// construction, not captured per scheduled event
 using WriteIssuedHook = std::function<void()>;
 
 /** One memory channel with its banks and queues. */
@@ -188,7 +192,21 @@ class Channel : public Auditable
 
     bool retryPending_ = false;
     Tick retryAt_ = 0;
-    EventQueue::EventId retryEvent_ = 0;
+    EventHandle retryEvent_;
+
+    /**
+     * Failed-scan memo. After a trySchedule() pass whose final
+     * iteration issued nothing, every queued request is known to be
+     * un-issuable at (scanMemoTick_, current bank/bus state), and
+     * tryIssue* failure is side-effect-free. While the memo holds (same
+     * tick, no bank/bus/hold mutation), enqueueRead() only has to try
+     * the new arrival instead of re-walking the whole queue; the
+     * accumulated earliest-retry tick carries over. Invalidated at
+     * every full-scan entry, bank-state mutation, and refresh hold.
+     */
+    bool scanMemoValid_ = false;
+    Tick scanMemoTick_ = 0;
+    Tick scanMemoEarliest_ = maxTick;
 
     CompletionHook completionHook_;
     WriteIssuedHook writeIssuedHook_;

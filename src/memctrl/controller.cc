@@ -22,7 +22,7 @@ Controller::channelOf(Addr addr) const
 }
 
 bool
-Controller::enqueueRead(Addr addr, std::function<void(Tick)> on_complete)
+Controller::enqueueRead(Addr addr, RequestCallback on_complete)
 {
     Request req;
     req.kind = ReqKind::Read;

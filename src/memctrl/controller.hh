@@ -33,7 +33,7 @@ class Controller : public Auditable
      * Enqueue a read for `addr`; `on_complete` fires when the data
      * burst finishes. @return false if the read queue is full.
      */
-    bool enqueueRead(Addr addr, std::function<void(Tick)> on_complete);
+    bool enqueueRead(Addr addr, RequestCallback on_complete);
 
     /**
      * Enqueue a demand write with the given write mode.

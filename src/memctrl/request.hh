@@ -7,10 +7,11 @@
 #define RRM_MEMCTRL_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/units.hh"
+#include "memctrl/address_map.hh"
 #include "pcm/write_mode.hh"
+#include "sim/callback.hh"
 
 namespace rrm::memctrl
 {
@@ -23,6 +24,15 @@ enum class ReqKind : std::uint8_t
     RrmRefresh, ///< selective refresh issued by the RRM
 };
 
+/**
+ * Completion callback carried by a request. Inline (non-allocating):
+ * the capture travels inside the Request through the controller
+ * queues and into the completion event, so a heap-allocating type
+ * here would put a malloc on every read. 40 bytes fits the system's
+ * fill-completion capture with headroom.
+ */
+using RequestCallback = InlineFunction<void(Tick), 40>;
+
 /** One request in a controller queue. */
 struct Request
 {
@@ -31,8 +41,14 @@ struct Request
     pcm::WriteMode mode = pcm::WriteMode::Sets7; ///< writes/refreshes
     Tick enqueueTick = 0;
 
+    /**
+     * Decoded location of `addr`, filled by the channel at enqueue so
+     * the FR-FCFS scan never re-decodes a queued request.
+     */
+    Location loc{};
+
     /** Completion callback (reads and refresh bookkeeping). */
-    std::function<void(Tick)> onComplete;
+    RequestCallback onComplete;
 };
 
 } // namespace rrm::memctrl

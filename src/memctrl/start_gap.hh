@@ -130,6 +130,8 @@ class StartGapRemapper : public Auditable
      * (empty `now` stamps events with tick 0). Null detaches.
      */
     void
+    // rrm-lint: allow(perf-hot-std-function) tick source bound once
+    // per run; consulted only on rare gap movements
     setTraceSink(obs::TraceSink *sink, std::function<Tick()> now = {})
     {
         traceSink_ = sink;
@@ -167,6 +169,8 @@ class StartGapRemapper : public Auditable
     std::uint64_t memoryBytes_;
     std::vector<StartGapDomain> domains_;
     obs::TraceSink *traceSink_ = nullptr;
+    // rrm-lint: allow(perf-hot-std-function) tick source bound once
+    // per run; consulted only on rare gap movements
     std::function<Tick()> traceNow_;
 };
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DelayQueue: a fixed-latency FIFO hop that bypasses the central
+ * event queue (the HybridSim delay-queue idiom).
+ *
+ * Many hops in the model add a *constant* latency: the bus transfer
+ * into the write path, the 100 ns read-retry backoff, a policy's
+ * fixed access latency. Scheduling each item as its own event pays a
+ * heap insertion per item even though arrival order already equals
+ * delivery order (now() is monotonic and the delay is fixed). A
+ * DelayQueue instead appends items to a plain FIFO and keeps exactly
+ * one armed event — for the head item's due tick — in the central
+ * queue; when it fires, every item due at that tick is delivered in
+ * push order and the event re-arms for the next due tick.
+ *
+ * Event accounting: each delivered item is credited as one executed
+ * event (EventQueue::creditCoalescedDelivery), so eventsExecuted is
+ * identical to the one-event-per-item schedule this replaces. The
+ * delivery *order* is identical too, except when another event is
+ * scheduled at the same (tick, priority) between two pushes — such an
+ * event would interleave between the items under per-item scheduling
+ * but runs after the batch here. Callers that need byte-exact replay
+ * of the per-item schedule keep the central queue (see
+ * sys::SystemConfig::useDelayQueues).
+ */
+
+#ifndef RRM_SIM_DELAY_QUEUE_HH
+#define RRM_SIM_DELAY_QUEUE_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace rrm
+{
+
+/** Fixed-delay FIFO delivery bypassing the central queue. */
+class DelayQueue
+{
+  public:
+    /**
+     * @param queue Central queue used for the single armed event.
+     * @param delay Fixed latency added to every item (> 0).
+     * @param prio  Priority the deliveries run at.
+     */
+    DelayQueue(EventQueue &queue, Tick delay,
+               EventPriority prio = EventPriority::Default)
+        : queue_(queue), delay_(delay), prio_(prio)
+    {
+        RRM_ASSERT(delay_ > 0, "delay queue needs a positive delay");
+    }
+
+    DelayQueue(const DelayQueue &) = delete;
+    DelayQueue &operator=(const DelayQueue &) = delete;
+
+    /** Deliver `cb` at now() + delay(), FIFO among pushed items. */
+    void
+    push(EventCallback cb)
+    {
+        RRM_ASSERT(static_cast<bool>(cb), "pushing a null callback");
+        const Tick due = queue_.now() + delay_;
+        RRM_ASSERT(items_.empty() || items_.back().due <= due,
+                   "delay queue due times must be monotonic");
+        items_.push_back(Item{due, std::move(cb)});
+        if (!armed_)
+            arm(due);
+    }
+
+    Tick delay() const { return delay_; }
+    std::size_t pending() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+
+    /** Invariants (exercised by tests; cheap enough to call ad hoc). */
+    void
+    audit() const
+    {
+        RRM_AUDIT(items_.empty() || armed_,
+                  "delay queue holds items without an armed event");
+        Tick prev = 0;
+        for (const Item &it : items_) {
+            RRM_AUDIT(it.due >= prev,
+                      "delay queue due times not monotonic");
+            RRM_AUDIT(it.due >= queue_.now(),
+                      "delay queue item already due at ", it.due,
+                      " (now=", queue_.now(), ")");
+            prev = it.due;
+        }
+    }
+
+  private:
+    struct Item
+    {
+        Tick due;
+        EventCallback cb;
+    };
+
+    void
+    arm(Tick due)
+    {
+        armed_ = true;
+        queue_.schedule(due, [this] { deliverReady(); }, prio_);
+    }
+
+    void
+    deliverReady()
+    {
+        // The armed event itself accounts for the first delivery;
+        // every further item in the batch is credited explicitly.
+        bool first = true;
+        while (!items_.empty() && items_.front().due <= queue_.now()) {
+            EventCallback cb = std::move(items_.front().cb);
+            items_.pop_front();
+            if (!first)
+                queue_.creditCoalescedDelivery(prio_);
+            first = false;
+            cb(); // may push; new items are due strictly later
+        }
+        if (items_.empty())
+            armed_ = false;
+        else
+            queue_.schedule(items_.front().due,
+                            [this] { deliverReady(); }, prio_);
+    }
+
+    EventQueue &queue_;
+    Tick delay_;
+    EventPriority prio_;
+    std::deque<Item> items_;
+    bool armed_ = false;
+};
+
+} // namespace rrm
+
+#endif // RRM_SIM_DELAY_QUEUE_HH

@@ -1,6 +1,6 @@
 /**
  * @file
- * EventQueue and PeriodicTask implementations.
+ * EventQueue (arena + calendar queue) and PeriodicTask implementations.
  */
 
 #include "event_queue.hh"
@@ -11,80 +11,179 @@ namespace rrm
 {
 
 void
-EventQueue::heapPush(Entry entry)
+EventQueue::heapPush(std::vector<QEntry> &heap, const QEntry &e)
 {
-    heap_.push_back(std::move(entry));
+    heap.push_back(e);
     // Sift up.
-    std::size_t i = heap_.size() - 1;
+    std::size_t i = heap.size() - 1;
     while (i > 0) {
         const std::size_t parent = (i - 1) / 2;
-        if (!heap_[parent].laterThan(heap_[i]))
+        if (!heap[parent].laterThan(heap[i]))
             break;
-        std::swap(heap_[parent], heap_[i]);
+        std::swap(heap[parent], heap[i]);
         i = parent;
     }
 }
 
-EventQueue::Entry
-EventQueue::heapPop()
+EventQueue::QEntry
+EventQueue::heapPop(std::vector<QEntry> &heap)
 {
-    RRM_ASSERT(!heap_.empty(), "pop from empty event heap");
-    Entry top = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
+    RRM_ASSERT(!heap.empty(), "pop from an empty event heap");
+    const QEntry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
     // Sift down.
     std::size_t i = 0;
-    const std::size_t n = heap_.size();
+    const std::size_t n = heap.size();
     while (true) {
         const std::size_t l = 2 * i + 1;
         const std::size_t r = 2 * i + 2;
         std::size_t smallest = i;
-        if (l < n && heap_[smallest].laterThan(heap_[l]))
+        if (l < n && heap[smallest].laterThan(heap[l]))
             smallest = l;
-        if (r < n && heap_[smallest].laterThan(heap_[r]))
+        if (r < n && heap[smallest].laterThan(heap[r]))
             smallest = r;
         if (smallest == i)
             break;
-        std::swap(heap_[i], heap_[smallest]);
+        std::swap(heap[i], heap[smallest]);
         i = smallest;
     }
     return top;
 }
 
-bool
-EventQueue::skipCancelled()
+std::uint32_t
+EventQueue::allocSlot()
 {
-    while (!heap_.empty()) {
-        const auto it = cancelled_.find(heapTop().id);
-        if (it == cancelled_.end())
-            return true;
-        cancelled_.erase(it);
-        heapPop();
+    if (freeHead_ != EventHandle::invalidSlot) {
+        const std::uint32_t slot = freeHead_;
+        freeHead_ = pool_[slot].next;
+        pool_[slot].next = EventHandle::invalidSlot;
+        return slot;
     }
-    return false;
+    RRM_ASSERT(pool_.size() < EventHandle::invalidSlot,
+               "event arena exhausted the 32-bit slot space");
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
-EventQueue::EventId
-EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Event &ev = pool_[slot];
+    ++ev.gen; // invalidate outstanding handles before slot reuse
+    ev.cb.reset();
+    ev.cancelled = false;
+    ev.next = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::insertEntry(const QEntry &e)
+{
+    if (e.when < frontierEnd_) {
+        heapPush(frontier_, e);
+    } else if (e.when - frontierEnd_ < kWheelSpan) {
+        buckets_[bucketIndex(e.when)].push_back(e);
+        ++wheelCount_;
+    } else {
+        heapPush(overflow_, e);
+    }
+}
+
+bool
+EventQueue::advanceFrontier()
+{
+    if (wheelCount_ == 0) {
+        if (overflow_.empty())
+            return false;
+        const Tick top = overflow_.front().when;
+        if (top > maxTick - kWheelSpan - kBucketWidth) {
+            // Degenerate far-future events near the end of tick
+            // space: bucket arithmetic would wrap, so serve the
+            // remainder straight from the exact frontier heap.
+            frontierEnd_ = maxTick;
+            while (!overflow_.empty())
+                heapPush(frontier_, heapPop(overflow_));
+            return true;
+        }
+        // The wheel is empty: jump its window forward so the next
+        // occupied segment is the overflow top's.
+        frontierEnd_ = top & ~(kBucketWidth - 1);
+    }
+    // Migrate overflow entries that now fall inside the horizon.
+    while (!overflow_.empty() &&
+           overflow_.front().when - frontierEnd_ < kWheelSpan) {
+        const QEntry e = heapPop(overflow_);
+        buckets_[bucketIndex(e.when)].push_back(e);
+        ++wheelCount_;
+    }
+    // Open the segment [frontierEnd_, frontierEnd_ + width): its
+    // bucket holds exactly the wheel entries in that range.
+    std::vector<QEntry> &bucket = buckets_[bucketIndex(frontierEnd_)];
+    for (const QEntry &e : bucket)
+        heapPush(frontier_, e);
+    wheelCount_ -= bucket.size();
+    bucket.clear();
+    frontierEnd_ += kBucketWidth;
+    return true;
+}
+
+bool
+EventQueue::ensureNext()
+{
+    for (;;) {
+        while (frontier_.empty()) {
+            if (!advanceFrontier())
+                return false;
+        }
+        const std::uint32_t slot = frontier_.front().slot;
+        if (!pool_[slot].cancelled)
+            return true;
+        // Purge the cancelled entry: the arena slot is recycled the
+        // moment its queue entry surfaces, keeping size() exact.
+        heapPop(frontier_);
+        RRM_ASSERT(cancelledPending_ > 0,
+                   "cancelled-entry bookkeeping underflow");
+        --cancelledPending_;
+        freeSlot(slot);
+    }
+}
+
+EventHandle
+EventQueue::schedule(Tick when, EventCallback cb, EventPriority prio)
 {
     RRM_ASSERT(when >= now_, "scheduling into the past: when=", when,
                " now=", now_);
-    RRM_ASSERT(cb, "scheduling a null callback");
-    const EventId id = nextId_++;
-    heapPush(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+    RRM_ASSERT(static_cast<bool>(cb), "scheduling a null callback");
+    const std::uint32_t slot = allocSlot();
+    Event &ev = pool_[slot];
+    ev.when = when;
+    ev.seq = nextSeq_++;
+    ev.prio = static_cast<std::int32_t>(prio);
+    ev.cb = std::move(cb);
+    insertEntry(QEntry{when, ev.seq, slot, ev.prio});
+    ++live_;
     if (telemetry_ != nullptr) {
         telemetry_->scheduleLatency->add(
             static_cast<std::uint64_t>(when - now_));
         telemetry_->queueDepth->add(size());
     }
-    return id;
+    return EventHandle{slot, ev.gen};
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueue::cancel(EventHandle h)
 {
-    if (id < nextId_)
-        cancelled_.insert(id);
+    if (h.slot >= pool_.size())
+        return;
+    Event &ev = pool_[h.slot];
+    if (ev.gen != h.gen || ev.cancelled)
+        return; // already executed, recycled, or cancelled
+    ev.cancelled = true;
+    ev.cb.reset(); // release captured resources eagerly
+    ++cancelledPending_;
+    RRM_ASSERT(live_ > 0, "cancel with no live events");
+    --live_;
 }
 
 std::uint64_t
@@ -92,23 +191,25 @@ EventQueue::run(Tick until, std::uint64_t max_events)
 {
     std::uint64_t count = 0;
     bool capped = false;
-    while (skipCancelled()) {
-        if (heapTop().when > until)
+    while (ensureNext()) {
+        if (frontier_.front().when > until)
             break;
         if (count >= max_events) {
             capped = true;
             break;
         }
-        Entry entry = heapPop();
-        RRM_ASSERT(entry.when >= now_,
-                   "event heap yielded a past event");
-        now_ = entry.when;
+        const QEntry e = heapPop(frontier_);
+        RRM_ASSERT(e.when >= now_, "event queue yielded a past event");
+        EventCallback cb = std::move(pool_[e.slot].cb);
+        freeSlot(e.slot);
+        --live_;
+        now_ = e.when;
         ++executed_;
         ++count;
         if (telemetry_ != nullptr)
             telemetry_->executedByPriority->add(
-                EventQueueTelemetry::priorityBin(entry.prio));
-        entry.cb();
+                EventQueueTelemetry::priorityBin(e.prio));
+        cb();
     }
     if (!capped && until != maxTick && until > now_)
         now_ = until;
@@ -118,15 +219,18 @@ EventQueue::run(Tick until, std::uint64_t max_events)
 bool
 EventQueue::step()
 {
-    if (!skipCancelled())
+    if (!ensureNext())
         return false;
-    Entry entry = heapPop();
-    now_ = entry.when;
+    const QEntry e = heapPop(frontier_);
+    EventCallback cb = std::move(pool_[e.slot].cb);
+    freeSlot(e.slot);
+    --live_;
+    now_ = e.when;
     ++executed_;
     if (telemetry_ != nullptr)
         telemetry_->executedByPriority->add(
-            EventQueueTelemetry::priorityBin(entry.prio));
-    entry.cb();
+            EventQueueTelemetry::priorityBin(e.prio));
+    cb();
     return true;
 }
 
@@ -138,38 +242,112 @@ EventQueue::audit() const
               " previously audited=", lastAuditedNow_);
     lastAuditedNow_ = now_;
 
-    const std::size_t n = heap_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const Entry &e = heap_[i];
-        if (cancelled_.count(e.id) == 0) {
-            RRM_AUDIT(e.when >= now_, "pending event ", e.id,
+    std::vector<bool> queued(pool_.size(), false);
+    std::size_t entries = 0;
+    std::size_t cancelled_seen = 0;
+
+    const auto checkEntry = [&](const QEntry &e, const char *where) {
+        ++entries;
+        RRM_AUDIT(e.slot < pool_.size(), where, " entry references ",
+                  "slot ", e.slot, " outside the arena");
+        if (e.slot >= pool_.size())
+            return;
+        RRM_AUDIT(!queued[e.slot], "arena slot ", e.slot,
+                  " is referenced by more than one queue entry");
+        queued[e.slot] = true;
+        const Event &ev = pool_[e.slot];
+        RRM_AUDIT(ev.seq == e.seq && ev.when == e.when,
+                  where, " entry disagrees with its arena record ",
+                  "(slot ", e.slot, ")");
+        if (ev.cancelled) {
+            ++cancelled_seen;
+        } else {
+            RRM_AUDIT(e.when >= now_, "pending event in slot ", e.slot,
                       " scheduled at ", e.when, " before now=", now_);
-            RRM_AUDIT(static_cast<bool>(e.cb),
-                      "pending event ", e.id, " has a null callback");
+            RRM_AUDIT(static_cast<bool>(ev.cb), "pending event in slot ",
+                      e.slot, " has a null callback");
         }
-        RRM_AUDIT(e.id < nextId_, "heap entry id ", e.id,
-                  " was never issued (nextId=", nextId_, ")");
-        if (i > 0) {
-            const Entry &parent = heap_[(i - 1) / 2];
-            RRM_AUDIT(!parent.laterThan(e),
-                      "heap property violated between entries ",
-                      parent.id, " and ", e.id);
+        RRM_AUDIT(ev.seq < nextSeq_, where, " entry sequence ", e.seq,
+                  " was never issued (nextSeq=", nextSeq_, ")");
+    };
+
+    const auto checkHeap = [&](const std::vector<QEntry> &heap,
+                               const char *where) {
+        for (std::size_t i = 0; i < heap.size(); ++i) {
+            checkEntry(heap[i], where);
+            if (i > 0) {
+                RRM_AUDIT(!heap[(i - 1) / 2].laterThan(heap[i]),
+                          where, " heap property violated at index ",
+                          i);
+            }
+        }
+    };
+
+    checkHeap(frontier_, "frontier");
+    for (const QEntry &e : frontier_) {
+        RRM_AUDIT(e.when < frontierEnd_ || frontierEnd_ == maxTick,
+                  "frontier entry at ", e.when,
+                  " beyond the frontier boundary ", frontierEnd_);
+    }
+
+    std::size_t wheel_entries = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        for (const QEntry &e : buckets_[b]) {
+            checkEntry(e, "wheel");
+            ++wheel_entries;
+            RRM_AUDIT(bucketIndex(e.when) == b, "wheel entry at ",
+                      e.when, " hashed into the wrong bucket ", b);
+            RRM_AUDIT(e.when >= frontierEnd_ &&
+                          e.when - frontierEnd_ < kWheelSpan,
+                      "wheel entry at ", e.when,
+                      " outside the wheel window starting at ",
+                      frontierEnd_);
         }
     }
-    // rrm-lint: allow(det-unordered-iter) audit-only per-element check,
-    // order independent; cancelled_ is hot (every cancel/dispatch)
-    for (const EventId id : cancelled_) {
-        RRM_AUDIT(id < nextId_, "cancelled id ", id,
-                  " was never issued (nextId=", nextId_, ")");
+    RRM_AUDIT(wheel_entries == wheelCount_, "wheel holds ",
+              wheel_entries, " entries but wheelCount_ says ",
+              wheelCount_);
+
+    checkHeap(overflow_, "overflow");
+    for (const QEntry &e : overflow_) {
+        RRM_AUDIT(e.when >= frontierEnd_ &&
+                      e.when - frontierEnd_ >= kWheelSpan,
+                  "overflow entry at ", e.when,
+                  " inside the wheel horizon starting at ",
+                  frontierEnd_);
     }
+
+    RRM_AUDIT(entries == live_ + cancelledPending_,
+              "queue holds ", entries, " entries but live=", live_,
+              " + cancelled=", cancelledPending_, " disagree");
+    RRM_AUDIT(cancelled_seen == cancelledPending_,
+              "found ", cancelled_seen, " cancelled entries but ",
+              "cancelledPending_ says ", cancelledPending_);
+
+    // The freelist and the queued slots must tile the arena exactly.
+    std::size_t free_count = 0;
+    for (std::uint32_t s = freeHead_;
+         s != EventHandle::invalidSlot && free_count <= pool_.size();
+         s = pool_[s].next) {
+        RRM_AUDIT(s < pool_.size(), "freelist references slot ", s,
+                  " outside the arena");
+        if (s >= pool_.size())
+            break;
+        RRM_AUDIT(!queued[s], "arena slot ", s,
+                  " is both queued and on the freelist");
+        ++free_count;
+    }
+    RRM_AUDIT(free_count + entries == pool_.size(), "arena has ",
+              pool_.size(), " slots but ", free_count, " free + ",
+              entries, " queued");
 }
 
 PeriodicTask::PeriodicTask(EventQueue &queue, Tick period, Tick first,
-                           EventQueue::Callback cb, EventPriority prio)
+                           EventCallback cb, EventPriority prio)
     : queue_(queue), period_(period), cb_(std::move(cb)), prio_(prio)
 {
     RRM_ASSERT(period_ > 0, "periodic task needs a positive period");
-    RRM_ASSERT(cb_, "periodic task needs a callback");
+    RRM_ASSERT(static_cast<bool>(cb_), "periodic task needs a callback");
     running_ = true;
     arm(first);
 }

@@ -3,29 +3,43 @@
  * The event-driven simulation kernel.
  *
  * A single EventQueue orders callbacks by (tick, priority, sequence).
- * Components schedule plain std::function callbacks or recurring
- * PeriodicTask objects (used for the RRM's 2 s short-retention
- * interrupt and 0.125 s decay tick). Ties at the same tick are broken
- * first by priority (lower value runs first), then by scheduling order,
- * which keeps runs fully deterministic.
+ * Components schedule EventCallback closures (non-allocating, see
+ * callback.hh) or recurring PeriodicTask objects (used for the RRM's
+ * 2 s short-retention interrupt and 0.125 s decay tick). Ties at the
+ * same tick are broken first by priority (lower value runs first),
+ * then by scheduling order, which keeps runs fully deterministic.
  *
- * The queue stores callbacks inline in its heap, so memory usage is
- * proportional to the number of *pending* events, not the number ever
- * scheduled — important for multi-million-event runs.
+ * Internally the queue is built for throughput:
+ *
+ *  - *Event arena*: every pending event lives in a pooled slot
+ *    (vector + freelist); scheduling allocates no memory once the
+ *    pool has grown to the steady-state depth. Handles carry a
+ *    generation counter so cancelling an already-executed event is a
+ *    cheap, exact no-op.
+ *  - *Calendar queue*: instead of one big binary heap, near events
+ *    (below `frontierEnd_`) sit in a small exact-ordered heap, mid
+ *    events hash into a timing wheel of `kNumBuckets` buckets of
+ *    `kBucketWidth` ticks, and far events (beyond the wheel horizon)
+ *    wait in an overflow heap. Buckets migrate into the frontier as
+ *    time advances, so heap operations touch O(log frontier) entries
+ *    rather than O(log total). Ordering is exact: the frontier heap
+ *    compares the full (tick, priority, sequence) key, and everything
+ *    outside it is provably later than everything inside it.
+ *
+ * See DESIGN.md section 15 for the geometry and the overflow policy.
  */
 
 #ifndef RRM_SIM_EVENT_QUEUE_HH
 #define RRM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/auditable.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "sim/callback.hh"
 #include "stats/stats.hh"
 
 namespace rrm
@@ -39,6 +53,30 @@ enum class EventPriority : int
     Default = 20,
     CpuTick = 30,         ///< cores advance after the memory system
     Sampler = 40,         ///< stat sampling observes the settled tick
+};
+
+/**
+ * The kernel's callback type: stored inline in the event arena, so
+ * captures up to 144 bytes (a Request plus a couple of words) never
+ * touch the heap, and anything larger is a compile error.
+ */
+using EventCallback = InlineFunction<void(), 144>;
+
+/**
+ * Ticket for a scheduled event, used with EventQueue::cancel(). The
+ * (slot, generation) pair stays valid forever: once the event runs or
+ * is cancelled the slot's generation advances, so a stale handle can
+ * never touch a recycled slot.
+ */
+struct EventHandle
+{
+    static constexpr std::uint32_t invalidSlot = ~std::uint32_t(0);
+
+    std::uint32_t slot = invalidSlot;
+    std::uint32_t gen = 0;
+
+    /** True if this handle was ever issued by schedule(). */
+    bool valid() const { return slot != invalidSlot; }
 };
 
 /**
@@ -93,50 +131,44 @@ struct EventQueueTelemetry
 class EventQueue : public Auditable
 {
   public:
-    using Callback = std::function<void()>;
-    using EventId = std::uint64_t;
+    using Callback = EventCallback;
 
     /** Current simulation time. */
     Tick now() const { return now_; }
 
     /** True if no pending events remain. */
-    bool empty() const { return size() == 0; }
+    bool empty() const { return live_ == 0; }
 
     /**
-     * Number of pending (non-cancelled) events. May overestimate
-     * slightly if ids of already-executed events were cancelled.
+     * Number of pending (non-cancelled) events. Exact: cancellation
+     * decrements the count immediately and cancelled arena slots are
+     * purged when their queue entry surfaces.
      */
-    std::size_t
-    size() const
-    {
-        return heap_.size() > cancelled_.size()
-                   ? heap_.size() - cancelled_.size()
-                   : 0;
-    }
+    std::size_t size() const { return live_; }
 
     /**
      * Schedule a callback at an absolute tick.
      *
      * @param when Absolute tick, must be >= now().
-     * @return An id usable with cancel().
+     * @return A handle usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb,
-                     EventPriority prio = EventPriority::Default);
+    EventHandle schedule(Tick when, EventCallback cb,
+                         EventPriority prio = EventPriority::Default);
 
     /** Schedule a callback `delay` ticks in the future. */
-    EventId
-    scheduleAfter(Tick delay, Callback cb,
+    EventHandle
+    scheduleAfter(Tick delay, EventCallback cb,
                   EventPriority prio = EventPriority::Default)
     {
         return schedule(now_ + delay, std::move(cb), prio);
     }
 
     /**
-     * Cancel a pending event. Cancelling an already-executed or
-     * already-cancelled id is a harmless no-op (ids are never reused
-     * within one queue).
+     * Cancel a pending event. Cancelling an already-executed,
+     * already-cancelled, or default-constructed handle is a harmless
+     * no-op (the generation check rejects stale handles exactly).
      */
-    void cancel(EventId id);
+    void cancel(EventHandle h);
 
     /**
      * Execute events until the queue empties, the next event is past
@@ -161,6 +193,24 @@ class EventQueue : public Auditable
     std::uint64_t eventsExecuted() const { return executed_; }
 
     /**
+     * Account one extra logical event execution at the given
+     * priority. Used by DelayQueue batch delivery: one physical event
+     * delivers k queued items, and the k-1 extra deliveries are
+     * credited here so eventsExecuted stays identical to the
+     * one-event-per-item schedule it replaces.
+     */
+    void
+    creditCoalescedDelivery(EventPriority prio)
+    {
+        ++executed_;
+        if (telemetry_ != nullptr) {
+            telemetry_->executedByPriority->add(
+                EventQueueTelemetry::priorityBin(
+                    static_cast<int>(prio)));
+        }
+    }
+
+    /**
      * Attach (or detach, with nullptr) hot-path telemetry sinks. The
      * struct must outlive the queue or be detached first; see
      * EventQueueTelemetry for the ownership story.
@@ -172,45 +222,99 @@ class EventQueue : public Auditable
 
     /**
      * Invariants: simulated time never decreases across audits, every
-     * pending event is scheduled at or after now(), the internal heap
-     * satisfies the heap property, and cancellation bookkeeping only
-     * references ids that were actually issued.
+     * pending event is scheduled at or after now(), the frontier and
+     * overflow heaps satisfy the heap property, every wheel entry
+     * hashes to its bucket and lies inside the wheel horizon, every
+     * queue entry references exactly one allocated arena slot whose
+     * record agrees with it, live/cancelled counts match the
+     * structures, and the freelist plus the queued slots tile the
+     * arena exactly.
      */
     void audit() const override;
 
   private:
-    struct Entry
+    /** One pooled event record (arena slot). */
+    struct Event
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        EventCallback cb;
+        std::int32_t prio = 0;
+        std::uint32_t gen = 0;
+        std::uint32_t next = EventHandle::invalidSlot; ///< freelist
+        bool cancelled = false;
+    };
+
+    /** Compact ordering key queued in the calendar structures. */
+    struct QEntry
     {
         Tick when;
-        int prio;
-        EventId id;
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::int32_t prio;
 
-        /** Min-heap order: earliest (when, prio, id) first. */
+        /** Min-heap order: earliest (when, prio, seq) first. */
         bool
-        laterThan(const Entry &o) const
+        laterThan(const QEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
             if (prio != o.prio)
                 return prio > o.prio;
-            return id > o.id;
+            return seq > o.seq;
         }
     };
 
-    void heapPush(Entry entry);
-    Entry heapPop();
-    const Entry &heapTop() const { return heap_.front(); }
+    // Calendar geometry (DESIGN.md section 15): 16.4 ns buckets and a
+    // ~33.6 us horizon cover every fixed memory/CPU latency in the
+    // model; only periodic tasks (>= 1 ms) overflow.
+    static constexpr unsigned kBucketShift = 14;
+    static constexpr Tick kBucketWidth = Tick(1) << kBucketShift;
+    static constexpr std::size_t kNumBuckets = 2048;
+    static constexpr Tick kWheelSpan = kBucketWidth * kNumBuckets;
 
-    /** Pop entries until top is live; @return false if queue drained. */
-    bool skipCancelled();
+    static std::size_t
+    bucketIndex(Tick when)
+    {
+        return static_cast<std::size_t>(when >> kBucketShift) &
+               (kNumBuckets - 1);
+    }
+
+    static void heapPush(std::vector<QEntry> &heap, const QEntry &e);
+    static QEntry heapPop(std::vector<QEntry> &heap);
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    /** Route a queue entry into frontier, wheel, or overflow. */
+    void insertEntry(const QEntry &e);
+
+    /**
+     * Make the frontier heap's top the globally next live event,
+     * migrating wheel buckets / overflow entries and purging
+     * cancelled slots as needed. @return false if no live events.
+     */
+    bool ensureNext();
+
+    /** Migrate one bucket (or jump to the overflow) into the frontier. */
+    bool advanceFrontier();
 
     Tick now_ = 0;
-    EventId nextId_ = 0;
+    std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+    std::size_t cancelledPending_ = 0;
     const EventQueueTelemetry *telemetry_ = nullptr;
-    std::vector<Entry> heap_;
-    std::unordered_set<EventId> cancelled_;
+
+    std::vector<Event> pool_;
+    std::uint32_t freeHead_ = EventHandle::invalidSlot;
+
+    std::vector<QEntry> frontier_; ///< heap; all when < frontierEnd_
+    std::vector<std::vector<QEntry>> buckets_ =
+        std::vector<std::vector<QEntry>>(kNumBuckets);
+    std::size_t wheelCount_ = 0;
+    Tick frontierEnd_ = 0;
+    std::vector<QEntry> overflow_; ///< heap; when beyond the horizon
 
     /** Audit bookkeeping: now() observed by the previous audit. */
     mutable Tick lastAuditedNow_ = 0;
@@ -230,7 +334,7 @@ class PeriodicTask
      * @param first   Absolute tick of the first invocation.
      */
     PeriodicTask(EventQueue &queue, Tick period, Tick first,
-                 EventQueue::Callback cb,
+                 EventCallback cb,
                  EventPriority prio = EventPriority::Default);
 
     ~PeriodicTask() { stop(); }
@@ -249,9 +353,9 @@ class PeriodicTask
 
     EventQueue &queue_;
     Tick period_;
-    EventQueue::Callback cb_;
+    EventCallback cb_;
     EventPriority prio_;
-    EventQueue::EventId pending_ = 0;
+    EventHandle pending_;
     bool running_ = false;
 };
 

@@ -40,6 +40,11 @@ SystemConfig::validate() const
     fault.collectErrors(errors, memory.refreshQueueCap);
     if (wallTimeoutSeconds < 0.0)
         errors.push_back("wall-clock timeout must be >= 0");
+    if (traceMode == trace::TraceMode::Materialized && !traceCache)
+        errors.push_back(
+            "traceMode Materialized requires a traceCache");
+    if (traceMode == trace::TraceMode::Pack && tracePackDir.empty())
+        errors.push_back("traceMode Pack requires tracePackDir");
 
     if (!customProfiles.empty() &&
         customProfiles.size() != hierarchy.numCores) {
@@ -91,6 +96,9 @@ System::System(SystemConfig config)
     timeScaleInt_ = static_cast<std::uint64_t>(config_.timeScale);
     if (timeScaleInt_ < 1)
         timeScaleInt_ = 1;
+
+    if (config_.useDelayQueues)
+        readRetryDelay_ = std::make_unique<DelayQueue>(queue_, 100_ns);
 
     hierarchy_ =
         std::make_unique<cache::CacheHierarchy>(config_.hierarchy);
@@ -288,10 +296,29 @@ System::buildCores()
             config_.customProfiles.empty()
                 ? trace::benchmarkProfile(config_.workload.perCore[c])
                 : *config_.customProfiles[c];
-        trace::TraceGenerator gen(profile, seeder.next());
+        const std::uint64_t core_seed = seeder.next();
+        auto source = [&]() -> trace::TraceSource {
+            switch (config_.traceMode) {
+              case trace::TraceMode::Materialized:
+                return trace::TraceSource::materialized(
+                    config_.traceCache->get(
+                        profile, core_seed,
+                        config_.traceCacheCapRecords));
+              case trace::TraceMode::Pack:
+                return trace::TraceSource::pack(
+                    std::make_shared<trace::TracePackReader>(
+                        config_.tracePackDir + "/" +
+                        std::string(profile.name) + "-c" +
+                        std::to_string(c) + ".rtp"),
+                    profile, core_seed);
+              case trace::TraceMode::Generate:
+                break;
+            }
+            return trace::TraceSource::generate(profile, core_seed);
+        }();
         auto core = std::make_unique<cpu::CoreModel>(
-            c, config_.core, std::move(gen), *hierarchy_, *this, queue_,
-            static_cast<Addr>(c) * slice);
+            c, config_.core, std::move(source), *hierarchy_, *this,
+            queue_, static_cast<Addr>(c) * slice);
         core->regStats(statRoot_);
         cores_.push_back(std::move(core));
     }
@@ -328,8 +355,17 @@ System::tryEnqueueRead(unsigned core, Addr line)
         phys, [this, core, line](Tick) { onReadComplete(core, line); });
     if (!ok) {
         // Per-channel read queue momentarily full; retry shortly.
-        queue_.scheduleAfter(
-            100_ns, [this, core, line] { tryEnqueueRead(core, line); });
+        // The delay-queue path delivers the identical schedule in
+        // FIFO batches with one armed event instead of one heap
+        // insertion per retry.
+        if (readRetryDelay_) {
+            readRetryDelay_->push(
+                [this, core, line] { tryEnqueueRead(core, line); });
+        } else {
+            queue_.scheduleAfter(100_ns, [this, core, line] {
+                tryEnqueueRead(core, line);
+            });
+        }
     }
 }
 

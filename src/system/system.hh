@@ -31,6 +31,7 @@
 #include "pcm/wear_tracker.hh"
 #include "policy/adaptive_config.hh"
 #include "policy/write_policy.hh"
+#include "sim/delay_queue.hh"
 #include "system/measurement.hh"
 #include "system/region_profiler.hh"
 #include "system/results.hh"
@@ -151,6 +152,45 @@ struct SystemConfig
     std::uint64_t seed = 1;
 
     /**
+     * How cores obtain their instruction streams. All three modes
+     * produce byte-identical streams for a given (profile, seed);
+     * they differ only in where the records come from (see
+     * trace/source.hh). None of these fields enter the run-record
+     * config JSON: they cannot change results.
+     */
+    trace::TraceMode traceMode = trace::TraceMode::Generate;
+
+    /**
+     * Shared materialized-stream cache; required when traceMode is
+     * Materialized, ignored otherwise. Not owned; must outlive the
+     * System. Sharing one cache across the runs of a plan is the
+     * point — each distinct (profile, seed) stream is generated once.
+     */
+    trace::TraceCache *traceCache = nullptr;
+
+    /** Replay-prefix length per stream in Materialized mode. */
+    std::uint64_t traceCacheCapRecords =
+        trace::MaterializedTrace::defaultCapRecords;
+
+    /**
+     * Route the fixed-latency read-retry backoff through a DelayQueue
+     * (sim/delay_queue.hh) instead of per-item central-queue events.
+     * Event *counts* are identical either way (coalesced deliveries
+     * are credited); delivery *order* can differ when an unrelated
+     * same-tick event lands between two retries, so this is off by
+     * default and the golden records pin the central-queue schedule.
+     * Not emitted in the run-record config JSON.
+     */
+    bool useDelayQueues = false;
+
+    /**
+     * Directory of .rtp packs; required when traceMode is Pack.
+     * Core c replays "<profile>-c<c>.rtp" (tools/trace-pack writes
+     * this layout) after validating the pack's seed and profile.
+     */
+    std::string tracePackDir;
+
+    /**
      * Check every configuration constraint and return one message per
      * violation (empty = valid). Unlike failing fast deep inside
      * construction, this aggregates *all* problems — a bad sweep
@@ -259,6 +299,9 @@ class System : public cpu::CorePort
 
     SystemConfig config_;
     EventQueue queue_;
+
+    /** Read-retry backoff hop (only when config_.useDelayQueues). */
+    std::unique_ptr<DelayQueue> readRetryDelay_;
     stats::StatGroup statRoot_;
 
     std::unique_ptr<cache::CacheHierarchy> hierarchy_;

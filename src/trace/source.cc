@@ -1,0 +1,156 @@
+/**
+ * @file
+ * MaterializedTrace, TraceCache, and TraceSource implementation.
+ */
+
+#include "trace/source.hh"
+
+#include "common/logging.hh"
+
+namespace rrm::trace
+{
+
+MaterializedTrace::MaterializedTrace(const BenchmarkProfile &profile,
+                                     std::uint64_t seed,
+                                     std::uint64_t capRecords)
+    : profile_(profile),
+      seed_(seed),
+      cap_(capRecords),
+      gen_(profile, seed)
+{
+    RRM_ASSERT(cap_ >= chunkRecords,
+               "materialized trace cap too small to hold one chunk");
+    footprint_ = gen_.footprintBytes();
+    meanGap_ = gen_.meanGapInstructions();
+    chunks_.resize((cap_ + chunkRecords - 1) / chunkRecords);
+}
+
+void
+MaterializedTrace::extendTo(std::uint64_t i)
+{
+    RRM_ASSERT(i < cap_, "materialized trace read past its cap");
+    std::lock_guard<std::mutex> lock(growthMutex_);
+    // Another thread may have published past i while we waited.
+    while (generated_ <= i) {
+        const std::uint64_t chunk = generated_ / chunkRecords;
+        const std::uint64_t fill =
+            std::min(chunkRecords, cap_ - generated_);
+        auto records = std::make_unique<TraceRecord[]>(fill);
+        for (std::uint64_t r = 0; r < fill; ++r)
+            records[r] = gen_.next();
+        chunks_[chunk] = std::move(records);
+        generated_ += fill;
+        // Release-publish: the chunk pointer store above must be
+        // visible to any reader that observes the new watermark.
+        published_.store(generated_, std::memory_order_release);
+    }
+}
+
+std::shared_ptr<MaterializedTrace>
+TraceCache::get(const BenchmarkProfile &profile, std::uint64_t seed,
+                std::uint64_t capRecords)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = entries_[{&profile, seed}];
+    if (!slot)
+        slot = std::make_shared<MaterializedTrace>(profile, seed,
+                                                   capRecords);
+    return slot;
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+TraceSource::TraceSource(const BenchmarkProfile &profile,
+                         std::uint64_t seed)
+    : profile_(&profile), seed_(seed)
+{
+}
+
+TraceSource
+TraceSource::generate(const BenchmarkProfile &profile, std::uint64_t seed)
+{
+    TraceSource src(profile, seed);
+    src.gen_.emplace(profile, seed);
+    src.footprint_ = src.gen_->footprintBytes();
+    src.meanGap_ = src.gen_->meanGapInstructions();
+    return src;
+}
+
+TraceSource
+TraceSource::materialized(std::shared_ptr<MaterializedTrace> mat)
+{
+    TraceSource src(mat->profile(), mat->seed());
+    src.footprint_ = mat->footprintBytes();
+    src.meanGap_ = mat->meanGapInstructions();
+    src.replayEnd_ = mat->capRecords();
+    src.mat_ = std::move(mat);
+    return src;
+}
+
+TraceSource
+TraceSource::pack(std::shared_ptr<TracePackReader> reader,
+                  const BenchmarkProfile &profile, std::uint64_t seed)
+{
+    const TracePackHeader &h = reader->header();
+    if (h.profileName != profile.name) {
+        fatal("trace pack '", reader->path(), "' holds profile '",
+              h.profileName, "' but the run needs '", profile.name,
+              "'");
+    }
+    if (h.seed != seed) {
+        fatal("trace pack '", reader->path(), "' was generated with "
+              "seed ", h.seed, " but the run needs seed ", seed,
+              " (regenerate with tools/trace-pack)");
+    }
+    TraceSource src(profile, seed);
+    // Cross-check the derived stream parameters too: a profile whose
+    // definition drifted since the pack was written must not replay.
+    TraceGenerator probe(profile, seed);
+    if (h.footprintBytes != probe.footprintBytes() ||
+        h.meanGapInstructions != probe.meanGapInstructions()) {
+        fatal("trace pack '", reader->path(),
+              "' is stale: profile '", profile.name,
+              "' has changed since it was packed");
+    }
+    src.footprint_ = h.footprintBytes;
+    src.meanGap_ = h.meanGapInstructions;
+    src.replayEnd_ = h.recordCount;
+    src.pack_ = std::move(reader);
+    return src;
+}
+
+void
+TraceSource::fastForwardTail(std::uint64_t consumed)
+{
+    // The replay prefix ran out. Rebuild the generator and discard the
+    // records already served; the stream stays byte-identical, the
+    // one-time cost is O(consumed).
+    inform("trace replay for '", profile_->name, "' seed ", seed_,
+           " exhausted after ", consumed,
+           " records; continuing with live generation");
+    gen_.emplace(*profile_, seed_);
+    for (std::uint64_t i = 0; i < consumed; ++i)
+        gen_->next();
+    mat_.reset();
+    pack_.reset();
+}
+
+TraceRecord
+TraceSource::next()
+{
+    if (gen_)
+        return gen_->next();
+    if (pos_ < replayEnd_) {
+        const std::uint64_t i = pos_++;
+        return mat_ ? mat_->record(i) : pack_->record(i);
+    }
+    fastForwardTail(pos_);
+    return gen_->next();
+}
+
+} // namespace rrm::trace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Binary pre-generated trace packs (.rtp).
+ *
+ * A trace pack stores a finite prefix of one (profile, seed) trace
+ * stream in a compact, mmap-able, little-endian format so a run can
+ * replay memory instructions with a pointer bump instead of paying
+ * RNG and pattern arithmetic per record. Packs are produced offline
+ * by `tools/trace-pack` and consumed through TraceSource (source.hh).
+ *
+ * Layout (all fields little-endian):
+ *
+ *   offset size  field
+ *        0    4  magic "RTPK"
+ *        4    4  version (currently 1)
+ *        8    8  recordCount
+ *       16    8  seed           (generator seed the records came from)
+ *       24    8  footprintBytes (generator footprint, for validation)
+ *       32    8  meanGapInstructions (IEEE-754 double)
+ *       40   24  profileName    (NUL-padded ASCII)
+ *       64  16*N records: { u64 addr; u32 gapInstructions;
+ *                           u8 type; u8 pad[3]; }
+ *
+ * Readers validate magic, version, and size, and a consumer validates
+ * (profileName, seed) against the stream it expects, so a stale or
+ * misplaced pack is a hard error rather than silent wrong physics.
+ * Reading past recordCount is fatal: a pack represents a *guaranteed*
+ * prefix, not a best-effort cache.
+ */
+
+#ifndef RRM_TRACE_TRACE_PACK_HH
+#define RRM_TRACE_TRACE_PACK_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "trace/access.hh"
+
+namespace rrm::trace
+{
+
+class TraceGenerator;
+
+/** Fixed-size .rtp header (64 bytes on disk). */
+struct TracePackHeader
+{
+    static constexpr char magic[4] = {'R', 'T', 'P', 'K'};
+    static constexpr std::uint32_t currentVersion = 1;
+    static constexpr std::size_t nameBytes = 24;
+    static constexpr std::size_t sizeBytes = 64;
+
+    std::uint32_t version = currentVersion;
+    std::uint64_t recordCount = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t footprintBytes = 0;
+    double meanGapInstructions = 0.0;
+    std::string profileName;
+};
+
+/** On-disk record layout (16 bytes). */
+struct PackedTraceRecord
+{
+    std::uint64_t addr;
+    std::uint32_t gapInstructions;
+    std::uint8_t type;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(PackedTraceRecord) == 16,
+              "packed trace record must be exactly 16 bytes");
+
+/**
+ * Write a pack holding the first `count` records of `gen`'s stream.
+ * The generator is consumed (advanced past `count` records).
+ * fatal()s on I/O errors.
+ */
+void writeTracePack(const std::string &path, const std::string &profile,
+                    std::uint64_t seed, TraceGenerator &gen,
+                    std::uint64_t count);
+
+/**
+ * Memory-mapped reader for one .rtp file. Opening validates the
+ * header; record access is a bounds check plus a load. Thread-safe
+ * after construction (the mapping is immutable).
+ */
+class TracePackReader
+{
+  public:
+    /** Open and validate; fatal() on missing/corrupt files. */
+    explicit TracePackReader(const std::string &path);
+    ~TracePackReader();
+
+    TracePackReader(const TracePackReader &) = delete;
+    TracePackReader &operator=(const TracePackReader &) = delete;
+
+    const TracePackHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+    std::uint64_t recordCount() const { return header_.recordCount; }
+
+    /** Fetch record `i`; fatal() past the end (pack exhausted). */
+    TraceRecord
+    record(std::uint64_t i) const
+    {
+        if (i >= header_.recordCount) {
+            fatal("trace pack '", path_, "' exhausted: record ", i,
+                  " requested but the pack holds ",
+                  header_.recordCount,
+                  " (regenerate a longer pack with tools/trace-pack)");
+        }
+        PackedTraceRecord p;
+        std::memcpy(&p, records_ + i * sizeof(PackedTraceRecord),
+                    sizeof(p));
+        TraceRecord rec;
+        rec.addr = p.addr;
+        rec.gapInstructions = p.gapInstructions;
+        rec.type = static_cast<AccessType>(p.type);
+        return rec;
+    }
+
+  private:
+    std::string path_;
+    TracePackHeader header_;
+    const unsigned char *mapBase_ = nullptr; ///< whole-file mapping
+    std::size_t mapLen_ = 0;
+    const unsigned char *records_ = nullptr; ///< first record
+    std::unique_ptr<unsigned char[]> fallback_; ///< non-mmap path
+};
+
+} // namespace rrm::trace
+
+#endif // RRM_TRACE_TRACE_PACK_HH

@@ -101,7 +101,7 @@ struct Fixture
     CoreModel
     makeCore(const trace::BenchmarkProfile &profile)
     {
-        return CoreModel(0, params, trace::TraceGenerator(profile, 1),
+        return CoreModel(0, params, trace::TraceSource::generate(profile, 1),
                          hierarchy, port, queue, 0);
     }
 };

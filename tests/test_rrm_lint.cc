@@ -71,6 +71,8 @@ TEST(RrmLint, FixtureTreeReportsExactRuleIdsAndLines)
         {"src/run/clock_seam.cc", 14, "det-monotonic-clock"},
         {"src/sim/det_unordered.cc", 14, "det-unordered-iter"},
         {"src/sim/det_unordered.cc", 22, "det-unordered-iter"},
+        {"src/sim/hot_std_function.cc", 6, "perf-hot-std-function"},
+        {"src/sim/hot_std_function.cc", 9, "perf-hot-std-function"},
         {"src/sim/upward_include.cc", 4, "layer-upward-include"},
     };
     EXPECT_EQ(keys(diags, /*suppressed=*/false), expected);

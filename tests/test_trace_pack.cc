@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the binary trace-pack format (trace/trace_pack.hh) and
+ * the TraceSource replay modes (trace/source.hh): every mode must
+ * yield a byte-identical record stream for the same (profile, seed),
+ * including past the end of a replay prefix (fast-forward tail).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/source.hh"
+#include "trace/trace_pack.hh"
+
+namespace rrm::trace
+{
+namespace
+{
+
+/** Temp .rtp path unique to the current test. */
+std::string
+packPath(const std::string &stem)
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string(::testing::TempDir()) + info->test_suite_name() +
+           "." + info->name() + "." + stem + ".rtp";
+}
+
+void
+expectSameRecord(const TraceRecord &a, const TraceRecord &b,
+                 std::uint64_t i)
+{
+    ASSERT_EQ(a.addr, b.addr) << "record " << i;
+    ASSERT_EQ(a.type, b.type) << "record " << i;
+    ASSERT_EQ(a.gapInstructions, b.gapInstructions) << "record " << i;
+}
+
+TEST(TracePack, RoundTripsThroughFile)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(Benchmark::Lbm);
+    const std::uint64_t seed = 42;
+    constexpr std::uint64_t n = 10000;
+
+    const std::string path = packPath("roundtrip");
+    {
+        TraceGenerator gen(profile, seed);
+        writeTracePack(path, std::string(profile.name), seed, gen, n);
+    }
+
+    TracePackReader reader(path);
+    EXPECT_EQ(reader.recordCount(), n);
+    EXPECT_EQ(reader.header().seed, seed);
+    EXPECT_EQ(reader.header().profileName, std::string(profile.name));
+    EXPECT_EQ(reader.header().footprintBytes, profile.footprintBytes());
+
+    TraceGenerator ref(profile, seed);
+    for (std::uint64_t i = 0; i < n; ++i)
+        expectSameRecord(reader.record(i), ref.next(), i);
+
+    std::remove(path.c_str());
+}
+
+TEST(TracePack, SourceFastForwardsPastPackEnd)
+{
+    const BenchmarkProfile &profile =
+        benchmarkProfile(Benchmark::GemsFDTD);
+    const std::uint64_t seed = 7;
+    constexpr std::uint64_t packed = 2000;
+
+    const std::string path = packPath("tail");
+    {
+        TraceGenerator gen(profile, seed);
+        writeTracePack(path, std::string(profile.name), seed, gen,
+                       packed);
+    }
+
+    // Read well past the pack: the source must splice back onto a
+    // live generator with no seam.
+    TraceSource src = TraceSource::pack(
+        std::make_shared<TracePackReader>(path), profile, seed);
+    TraceGenerator ref(profile, seed);
+    for (std::uint64_t i = 0; i < 3 * packed; ++i)
+        expectSameRecord(src.next(), ref.next(), i);
+
+    std::remove(path.c_str());
+}
+
+TEST(TracePack, ReaderRejectsWrongSeed)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(Benchmark::Milc);
+    const std::string path = packPath("wrongseed");
+    {
+        TraceGenerator gen(profile, 3);
+        writeTracePack(path, std::string(profile.name), 3, gen, 100);
+    }
+    auto reader = std::make_shared<TracePackReader>(path);
+    EXPECT_THROW(TraceSource::pack(reader, profile, 4), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TracePack, ReaderRejectsWrongProfile)
+{
+    const BenchmarkProfile &milc = benchmarkProfile(Benchmark::Milc);
+    const std::string path = packPath("wrongprofile");
+    {
+        TraceGenerator gen(milc, 3);
+        writeTracePack(path, std::string(milc.name), 3, gen, 100);
+    }
+    auto reader = std::make_shared<TracePackReader>(path);
+    EXPECT_THROW(
+        TraceSource::pack(reader, benchmarkProfile(Benchmark::Lbm), 3),
+        FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TracePack, MissingFileIsFatal)
+{
+    EXPECT_THROW(TracePackReader("/nonexistent/dir/missing.rtp"),
+                 FatalError);
+}
+
+TEST(TracePack, TruncatedFileIsFatal)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(Benchmark::Lbm);
+    const std::string path = packPath("truncated");
+    {
+        TraceGenerator gen(profile, 1);
+        writeTracePack(path, std::string(profile.name), 1, gen, 1000);
+    }
+    // Chop the file short of the record count the header promises.
+    ASSERT_EQ(truncate(path.c_str(), 64 + 16 * 10), 0);
+    EXPECT_THROW(TracePackReader{path}, FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceSource, MaterializedMatchesGenerate)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(Benchmark::Lbm);
+    const std::uint64_t seed = 11;
+    constexpr std::uint64_t n = 200000; // > one 64Ki chunk
+
+    TraceCache cache;
+    TraceSource mat = TraceSource::materialized(cache.get(profile, seed));
+    TraceSource ref = TraceSource::generate(profile, seed);
+    for (std::uint64_t i = 0; i < n; ++i)
+        expectSameRecord(mat.next(), ref.next(), i);
+}
+
+TEST(TraceSource, MaterializedFastForwardsPastCap)
+{
+    const BenchmarkProfile &profile =
+        benchmarkProfile(Benchmark::Leslie3d);
+    const std::uint64_t seed = 5;
+    // Cap at exactly one chunk so the tail path triggers quickly.
+    const std::uint64_t cap = MaterializedTrace::chunkRecords;
+
+    TraceCache cache;
+    TraceSource mat =
+        TraceSource::materialized(cache.get(profile, seed, cap));
+    TraceSource ref = TraceSource::generate(profile, seed);
+    for (std::uint64_t i = 0; i < 3 * cap; ++i)
+        expectSameRecord(mat.next(), ref.next(), i);
+}
+
+TEST(TraceSource, CacheSharesStreamsByProfileAndSeed)
+{
+    const BenchmarkProfile &lbm = benchmarkProfile(Benchmark::Lbm);
+    const BenchmarkProfile &milc = benchmarkProfile(Benchmark::Milc);
+
+    TraceCache cache;
+    const auto a = cache.get(lbm, 1);
+    const auto b = cache.get(lbm, 1);
+    const auto c = cache.get(lbm, 2);
+    const auto d = cache.get(milc, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+} // namespace
+} // namespace rrm::trace

@@ -1,0 +1,13 @@
+// Seeds perf-hot-std-function: std::function on the hot path.
+#include <functional>
+
+struct Scheduler
+{
+    std::function<void()> pending_; // line 6
+
+    void
+    schedule(std::function<void()> cb) // line 9
+    {
+        pending_ = cb;
+    }
+};

@@ -746,6 +746,30 @@ struct Engine
                   "interface instead");
     }
 
+    // ---- performance ------------------------------------------------
+
+    void
+    perfHotStdFunction(SourceFile &f)
+    {
+        const auto &dirs = config.hotPathDirs;
+        const bool hot =
+            std::any_of(dirs.begin(), dirs.end(),
+                        [&](const std::string &d) {
+                            return f.rel.rfind(d, 0) == 0;
+                        });
+        if (!hot)
+            return;
+        const auto &seams = config.hotPathSeamFiles;
+        if (std::find(seams.begin(), seams.end(), f.rel) != seams.end())
+            return;
+        static const std::regex stdFunction(R"(\bstd\s*::\s*function\s*<)");
+        scanLines(f, stdFunction, "perf-hot-std-function",
+                  "std::function on the scheduling/memory hot path; it "
+                  "heap-allocates captures and indirects every call — "
+                  "use rrm::InlineFunction (sim/callback.hh) or a "
+                  "concrete member-function target");
+    }
+
     // ---- shared -----------------------------------------------------
 
     void
@@ -784,6 +808,8 @@ defaultConfig()
                             "src/system/scheme.cc"};
     c.monotonicSeamFiles = {"src/obs/profiler.hh",
                             "src/obs/run_record.cc"};
+    c.hotPathDirs = {"src/sim/", "src/memctrl/"};
+    c.hotPathSeamFiles = {"src/sim/callback.hh"};
     return c;
 }
 
@@ -845,6 +871,9 @@ ruleCatalog()
         {"units-raw-mix",
          "no raw arithmetic mixing Tick with Cycles/byte quantities; "
          "use named helpers from common/units.hh"},
+        {"perf-hot-std-function",
+         "no std::function in src/sim or src/memctrl; hot-path "
+         "callbacks use rrm::InlineFunction"},
         {"layer-upward-include",
          "src/ modules only include lower layers (common < stats < sim "
          "< obs < pcm < trace < cache < cpu < memctrl < rrm < policy < "
@@ -901,6 +930,7 @@ lintFiles(const std::string &root, const std::vector<std::string> &files,
             engine.detMonotonicClock(*f);
             engine.detRandom(*f);
             engine.detPointerKey(*f);
+            engine.perfHotStdFunction(*f);
             engine.statsTraceCategory(*f);
             engine.layerUpwardInclude(*f);
             engine.layerSchemeDispatch(*f);

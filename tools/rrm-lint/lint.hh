@@ -82,6 +82,15 @@ struct Config
     /** Files (root-relative) allowed to read the monotonic clock —
      *  the obs::monotonicSeconds() seam and the self-profiler. */
     std::vector<std::string> monotonicSeamFiles;
+
+    /** Directory prefixes (root-relative, trailing slash) whose files
+     *  sit on the per-event hot path: naming std::function there
+     *  raises perf-hot-std-function. */
+    std::vector<std::string> hotPathDirs;
+
+    /** Files (root-relative) exempt from perf-hot-std-function — the
+     *  InlineFunction seam that implements the ban. */
+    std::vector<std::string> hotPathSeamFiles;
 };
 
 /** The repo's canonical configuration. */
