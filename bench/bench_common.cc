@@ -8,9 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "obs/run_record.hh"
@@ -122,6 +125,22 @@ benchFlagTable()
          [](BenchOptions &o, const std::string &v) {
              o.retries = static_cast<unsigned>(
                  std::strtoul(v.c_str(), nullptr, 10));
+         }},
+        {"--checkpoint-every", "N",
+         "publish a checkpoint every N decay epochs (0 = off)",
+         [](BenchOptions &o, const std::string &v) {
+             o.checkpointEveryEpochs =
+                 std::strtoull(v.c_str(), nullptr, 10);
+         }},
+        {"--checkpoint-dir", "DIR",
+         "root directory for per-run checkpoint subdirectories",
+         [](BenchOptions &o, const std::string &v) {
+             o.checkpointDir = v;
+         }},
+        {"--resume", nullptr,
+         "resume each run from its newest valid checkpoint",
+         [](BenchOptions &o, const std::string &) {
+             o.resume = true;
          }},
         {"--fault-retention", nullptr,
          "track retention deadlines of short-retention writes",
@@ -380,6 +399,19 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
 
     const std::string run_tag =
         tag.empty() ? workload.name + "." + scheme.name() : tag;
+    if (opts.checkpointEveryEpochs > 0 && !opts.checkpointDir.empty()) {
+        // Each run owns a subdirectory: sibling runs of one plan
+        // must not see each other's .rckpt files.
+        cfg.checkpointEveryEpochs = opts.checkpointEveryEpochs;
+        cfg.checkpointDir = opts.checkpointDir + "/" + run_tag;
+        cfg.resumeFromCheckpoint = opts.resume;
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.checkpointDir, ec);
+        if (ec) {
+            fatal("cannot create checkpoint directory ",
+                  cfg.checkpointDir, ": ", ec.message());
+        }
+    }
     if (!opts.statsJsonStem.empty())
         cfg.obs.runRecordFile = opts.statsJsonStem + "." + run_tag + ".json";
     if (!opts.sampleCsvStem.empty())
@@ -413,6 +445,10 @@ buildMatrixPlan(const std::vector<trace::Workload> &workloads,
 run::RunReport
 runPlan(const run::RunPlan &plan, const BenchOptions &opts)
 {
+    // ^C / SIGTERM becomes a graceful pool drain: in-flight runs
+    // write their final checkpoints (when configured), the report is
+    // completed, and the plan fails with a full summary below.
+    installInterruptHandlers();
     const run::Runner runner(opts.runnerOptions());
     const run::RunReport report = runner.execute(plan);
 
@@ -429,8 +465,11 @@ runPlan(const run::RunPlan &plan, const BenchOptions &opts)
                      ? 0.0
                      : report.runs[slowest].wallSeconds);
 
-    if (!report.allOk())
-        fatal("run plan failed: ", report.failureSummary());
+    if (!report.allOk()) {
+        fatal(report.interruptedCount() > 0 ? "run plan interrupted: "
+                                            : "run plan failed: ",
+              report.failureSummary());
+    }
     return report;
 }
 
@@ -486,9 +525,8 @@ writeBenchReport(const std::string &path,
                  const std::vector<sys::Scheme> &schemes,
                  const std::vector<std::vector<sys::SimResults>> &results)
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open bench report file ", path);
+    AtomicFile file(path);
+    std::ostream &os = file.stream();
 
     obs::JsonWriter json(os, /*pretty=*/true);
     json.beginObject();
@@ -525,6 +563,7 @@ writeBenchReport(const std::string &path,
 
     json.endObject();
     os << '\n';
+    file.commit();
 }
 
 } // namespace rrm::bench

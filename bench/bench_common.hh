@@ -76,6 +76,19 @@ struct BenchOptions
     unsigned retries = 0;
 
     /**
+     * @{ Crash-safe checkpointing (--checkpoint-every /
+     * --checkpoint-dir / --resume). Every run checkpoints into its
+     * own subdirectory `<checkpointDir>/<run-id>` (created on
+     * demand), so one interrupted plan resumes per run. See
+     * SystemConfig::checkpointEveryEpochs for the cadence and the
+     * byte-identity contract.
+     */
+    std::uint64_t checkpointEveryEpochs = 0;
+    std::string checkpointDir;
+    bool resume = false;
+    /** @} */
+
+    /**
      * Fault-injection knobs (--fault-*), copied into every run's
      * SystemConfig. All-defaults means the fault layer is absent and
      * bench outputs are byte-identical to builds without it.

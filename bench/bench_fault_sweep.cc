@@ -13,11 +13,11 @@
  */
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "obs/run_record.hh"
 
@@ -109,9 +109,8 @@ main(int argc, char **argv)
 
     const std::string path =
         opts.jsonOut.empty() ? "BENCH_fault.json" : opts.jsonOut;
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open bench report file ", path);
+    AtomicFile file(path);
+    std::ostream &os = file.stream();
     obs::JsonWriter json(os, /*pretty=*/true);
     json.beginObject();
     json.field("schemaVersion", bench::benchReportSchemaVersion);
@@ -153,6 +152,7 @@ main(int argc, char **argv)
     json.endArray();
     json.endObject();
     os << '\n';
+    file.commit();
     std::fprintf(stderr, "bench report written to %s\n", path.c_str());
     return 0;
 }

@@ -15,8 +15,8 @@
  */
 
 #include <cstdio>
-#include <fstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "bench_common.hh"
 #include "run/speed_report.hh"
@@ -50,10 +50,9 @@ main(int argc, char **argv)
 
     const std::string out =
         opts.jsonOut.empty() ? "BENCH_speed.json" : opts.jsonOut;
-    std::ofstream os(out);
-    if (!os)
-        fatal("cannot open speed report file ", out);
-    run::writeSpeedReport(os, "speed", report);
+    AtomicFile file(out);
+    run::writeSpeedReport(file.stream(), "speed", report);
+    file.commit();
     std::fprintf(stderr, "speed report: %s\n", out.c_str());
     return 0;
 }

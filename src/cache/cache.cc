@@ -5,6 +5,8 @@
 
 #include "cache.hh"
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::cache
 {
 
@@ -225,6 +227,44 @@ Cache::regStats(stats::StatGroup &group)
     statEvictions_ = &g.addScalar("evictions", "lines displaced");
     statDirtyEvictions_ =
         &g.addScalar("dirtyEvictions", "dirty lines displaced");
+}
+
+void
+Cache::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(replClock_);
+    w.u64(accessCounter_);
+    w.u32(static_cast<std::uint32_t>(lines_.size()));
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.u64(line.stamp);
+        w.u32(static_cast<std::uint32_t>(line.owner));
+        w.b(line.valid);
+        w.b(line.dirty);
+    }
+    policy_->saveCkpt(w);
+}
+
+void
+Cache::restoreCkpt(ckpt::ChunkReader &r)
+{
+    replClock_ = r.u64();
+    accessCounter_ = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n != lines_.size())
+        throw ckpt::CkptError(
+            "cache '" + config_.name + "' has " +
+            std::to_string(lines_.size()) +
+            " lines but the checkpoint holds " + std::to_string(n) +
+            " (geometry mismatch)");
+    for (Line &line : lines_) {
+        line.tag = r.u64();
+        line.stamp = r.u64();
+        line.owner = static_cast<int>(r.u32());
+        line.valid = r.b();
+        line.dirty = r.b();
+    }
+    policy_->restoreCkpt(r);
 }
 
 } // namespace rrm::cache

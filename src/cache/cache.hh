@@ -115,6 +115,16 @@ class Cache : public Auditable
     /** Register hit/miss/writeback statistics into a group. */
     void regStats(stats::StatGroup &group);
 
+    /**
+     * @{ Checkpoint the full array state: every line's tag / stamp /
+     * owner / valid / dirty plus the replacement clock and the
+     * policy's private state. Counters registered via regStats are
+     * covered by the stats section, not here.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     // ---- Auditable ----
     std::string_view auditName() const override { return config_.name; }
 

@@ -187,6 +187,26 @@ CacheHierarchy::regStats(stats::StatGroup &group)
 }
 
 void
+CacheHierarchy::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1s_[c]->saveCkpt(w);
+        l2s_[c]->saveCkpt(w);
+    }
+    llc_->saveCkpt(w);
+}
+
+void
+CacheHierarchy::restoreCkpt(ckpt::ChunkReader &r)
+{
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1s_[c]->restoreCkpt(r);
+        l2s_[c]->restoreCkpt(r);
+    }
+    llc_->restoreCkpt(r);
+}
+
+void
 CacheHierarchy::audit() const
 {
     llc_->audit();

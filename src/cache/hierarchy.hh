@@ -103,6 +103,11 @@ class CacheHierarchy : public Auditable
     /** Register per-cache statistics. */
     void regStats(stats::StatGroup &group);
 
+    /** @{ Checkpoint every level, core-major then the shared LLC. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     /** Verify the inclusion invariant (O(cache size); tests only). */
     bool checkInclusion() const;
 

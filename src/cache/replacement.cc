@@ -5,6 +5,7 @@
 
 #include "replacement.hh"
 
+#include "ckpt/ckpt.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -75,6 +76,22 @@ class RandomPolicy : public ReplacementPolicy
     victim(const std::uint64_t *, unsigned num_ways) override
     {
         return static_cast<unsigned>(rng_.uniform(num_ways));
+    }
+
+    void
+    saveCkpt(ckpt::ChunkWriter &w) const override
+    {
+        for (const std::uint64_t word : rng_.state())
+            w.u64(word);
+    }
+
+    void
+    restoreCkpt(ckpt::ChunkReader &r) override
+    {
+        std::array<std::uint64_t, 4> state;
+        for (std::uint64_t &word : state)
+            word = r.u64();
+        rng_.setState(state);
     }
 
   private:

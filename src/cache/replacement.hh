@@ -12,6 +12,12 @@
 #include <cstdint>
 #include <memory>
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::cache
 {
 
@@ -50,6 +56,16 @@ class ReplacementPolicy
      */
     virtual unsigned victim(const std::uint64_t *stamps,
                             unsigned num_ways) = 0;
+
+    /**
+     * @{ Checkpoint policy-private state. The stamps themselves live
+     * in the owning structure; only the Random policy's RNG stream
+     * position needs saving (LRU/FIFO stamps come from the owner's
+     * inline clock).
+     */
+    virtual void saveCkpt(ckpt::ChunkWriter &w) const { (void)w; }
+    virtual void restoreCkpt(ckpt::ChunkReader &r) { (void)r; }
+    /** @} */
 };
 
 /** Instantiate a policy of the given kind. */

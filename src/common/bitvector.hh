@@ -110,6 +110,19 @@ class BitVector
         return numBits_ == other.numBits_ && words_ == other.words_;
     }
 
+    /** @{ Raw word access (checkpoint serialization). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    void
+    setWords(const std::vector<std::uint64_t> &words)
+    {
+        RRM_ASSERT(words.size() == words_.size(),
+                   "bit-vector word count mismatch: have ",
+                   words_.size(), ", got ", words.size());
+        words_ = words;
+    }
+    /** @} */
+
   private:
     void
     checkIndex(std::size_t i) const

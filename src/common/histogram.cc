@@ -69,6 +69,16 @@ BoundedHistogram::reset()
 }
 
 void
+BoundedHistogram::restoreCounts(
+    const std::vector<std::uint64_t> &counts, std::uint64_t total)
+{
+    RRM_ASSERT(counts.size() == counts_.size(),
+               "histogram restore with mismatched bucket count");
+    counts_ = counts;
+    total_ = total;
+}
+
+void
 SampleStats::add(double v)
 {
     if (n_ == 0) {

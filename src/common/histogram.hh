@@ -48,6 +48,14 @@ class BoundedHistogram
     /** Reset all counts. */
     void reset();
 
+    /**
+     * Checkpoint restore: replace the counts wholesale. `counts` must
+     * match numBuckets(); boundaries are construction state and are
+     * not part of the restorable surface.
+     */
+    void restoreCounts(const std::vector<std::uint64_t> &counts,
+                       std::uint64_t total);
+
   private:
     std::vector<std::uint64_t> boundaries_;
     std::vector<std::uint64_t> counts_;
@@ -72,6 +80,30 @@ class SampleStats
     double stddev() const;
 
     void reset() { *this = SampleStats(); }
+
+    /** Raw accumulator state, for checkpoint save/restore. */
+    struct Raw
+    {
+        std::uint64_t n = 0;
+        double sum = 0.0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    Raw raw() const { return {n_, sum_, mean_, m2_, min_, max_}; }
+
+    void
+    setRaw(const Raw &r)
+    {
+        n_ = r.n;
+        sum_ = r.sum;
+        mean_ = r.mean;
+        m2_ = r.m2;
+        min_ = r.min;
+        max_ = r.max;
+    }
 
   private:
     std::uint64_t n_ = 0;

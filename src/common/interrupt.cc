@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Interrupt request flag implementation.
+ */
+
+#include "interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace rrm
+{
+
+namespace
+{
+
+std::atomic<bool> interruptFlag{false};
+
+extern "C" void
+interruptSignalHandler(int)
+{
+    interruptFlag.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+interruptRequested()
+{
+    return interruptFlag.load(std::memory_order_relaxed);
+}
+
+void
+requestInterrupt()
+{
+    interruptFlag.store(true, std::memory_order_relaxed);
+}
+
+void
+clearInterruptRequest()
+{
+    interruptFlag.store(false, std::memory_order_relaxed);
+}
+
+void
+installInterruptHandlers()
+{
+    std::signal(SIGINT, interruptSignalHandler);
+    std::signal(SIGTERM, interruptSignalHandler);
+}
+
+} // namespace rrm

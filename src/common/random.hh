@@ -12,6 +12,7 @@
 #ifndef RRM_COMMON_RANDOM_HH
 #define RRM_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 #include "logging.hh"
@@ -64,6 +65,21 @@ class Random
      * reproducible from the top-level seed.
      */
     Random split();
+
+    /** @{ Raw engine state, for checkpoint save/restore. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
+    }
+    /** @} */
 
   private:
     std::uint64_t state_[4];

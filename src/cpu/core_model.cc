@@ -5,6 +5,10 @@
 
 #include "core_model.hh"
 
+#include <algorithm>
+
+#include "ckpt/ckpt.hh"
+
 namespace rrm::cpu
 {
 
@@ -36,11 +40,36 @@ CoreModel::start()
 void
 CoreModel::scheduleAdvance(Tick when)
 {
+    if (paused_) {
+        // First deferral wins, like advanceScheduled_ would.
+        if (!wantsAdvance_ && !advanceScheduled_) {
+            wantsAdvance_ = true;
+            wantsAdvanceAt_ = when;
+        }
+        return;
+    }
     if (advanceScheduled_)
         return;
     advanceScheduled_ = true;
     queue_.schedule(
         when, [this] { advance(); }, EventPriority::CpuTick);
+}
+
+void
+CoreModel::pause()
+{
+    paused_ = true;
+}
+
+void
+CoreModel::unpause()
+{
+    RRM_ASSERT(paused_, "unpause() on a running core");
+    paused_ = false;
+    if (wantsAdvance_) {
+        wantsAdvance_ = false;
+        scheduleAdvance(std::max(wantsAdvanceAt_, queue_.now()));
+    }
 }
 
 CoreModel::OutstandingFill *
@@ -124,6 +153,14 @@ void
 CoreModel::advance()
 {
     advanceScheduled_ = false;
+    if (paused_) {
+        // Swallow the event; the unpause re-schedules it at this tick.
+        if (!wantsAdvance_) {
+            wantsAdvance_ = true;
+            wantsAdvanceAt_ = queue_.now();
+        }
+        return;
+    }
     if (localTime_ < queue_.now())
         localTime_ = queue_.now();
     const Tick quantum_start = localTime_;
@@ -236,6 +273,46 @@ CoreModel::resume()
     if (localTime_ < queue_.now())
         localTime_ = queue_.now();
     scheduleAdvance(queue_.now());
+}
+
+void
+CoreModel::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    RRM_ASSERT(paused_ && quiescent(),
+               "core checkpoint outside a paused quiescent point");
+    w.u64(localTime_);
+    w.u64(instrCount_);
+    w.u8(static_cast<std::uint8_t>(stall_));
+    w.b(hasPending_);
+    w.u64(pendingLine_);
+    w.b(pendingIsWrite_);
+    w.u64(pendingInstr_);
+    w.b(wantsAdvance_);
+    w.u64(wantsAdvanceAt_);
+    w.u64(source_.consumed());
+}
+
+void
+CoreModel::restoreCkpt(ckpt::ChunkReader &r)
+{
+    RRM_ASSERT(outstandingCount_ == 0 && !advanceScheduled_,
+               "restoreCkpt() on a started core");
+    paused_ = true;
+    localTime_ = r.u64();
+    instrCount_ = r.u64();
+    const std::uint8_t stall = r.u8();
+    if (stall > static_cast<std::uint8_t>(Stall::Resource))
+        throw ckpt::CkptError("core " + std::to_string(id_) +
+                              ": invalid stall state " +
+                              std::to_string(stall));
+    stall_ = static_cast<Stall>(stall);
+    hasPending_ = r.b();
+    pendingLine_ = r.u64();
+    pendingIsWrite_ = r.b();
+    pendingInstr_ = r.u64();
+    wantsAdvance_ = r.b();
+    wantsAdvanceAt_ = r.u64();
+    source_.seek(r.u64());
 }
 
 void

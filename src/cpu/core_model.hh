@@ -111,6 +111,44 @@ class CoreModel
     /** Retry after a refused requestFill (resources freed). */
     void resume();
 
+    /**
+     * Checkpoint pause: stop consuming trace records. While paused,
+     * any advance — a queued event firing or a schedule request from
+     * a fill completion / resume — is deferred: the core notes the
+     * tick it wanted to run at and does nothing, so the event queue
+     * drains to just the re-armable periodic events.
+     */
+    void pause();
+
+    /**
+     * Leave the paused state, re-scheduling the deferred advance (if
+     * any) at the tick it originally wanted, clamped to now. The
+     * system unpauses cores in core-index order so the re-created
+     * events take deterministic sequence numbers.
+     */
+    void unpause();
+
+    /**
+     * True when the core holds no in-flight fills and no queued
+     * advance event — the paused core contributes nothing to the
+     * event queue and can be checkpointed.
+     */
+    bool
+    quiescent() const
+    {
+        return outstandingCount_ == 0 && !advanceScheduled_;
+    }
+
+    /**
+     * @{ Checkpoint the local clock, retired-instruction count, stall
+     * and pending-miss state, the deferred-advance note, and the
+     * trace cursor. Only legal while paused and quiescent (asserted);
+     * the restored core starts paused and is unpaused by the system.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     unsigned id() const { return id_; }
     std::uint64_t instructionsRetired() const { return instrCount_; }
 
@@ -183,6 +221,11 @@ class CoreModel
     std::uint64_t instrCount_ = 0;
     Stall stall_ = Stall::None;
     bool advanceScheduled_ = false;
+
+    /** Checkpoint pause state (see pause()/unpause()). */
+    bool paused_ = false;
+    bool wantsAdvance_ = false;
+    Tick wantsAdvanceAt_ = 0;
 
     /** Pending LLC-missing record (access already performed). */
     bool hasPending_ = false;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "ckpt/ckpt.hh"
 #include "common/random.hh"
 
 namespace rrm::fault
@@ -41,6 +42,27 @@ class FaultInjector
     {
         return stuckAtRate_ > 0.0 && stuckRng_.chance(stuckAtRate_);
     }
+
+    /** @{ Checkpoint all three RNG stream positions. */
+    void
+    saveCkpt(ckpt::ChunkWriter &w) const
+    {
+        for (const Random *rng : {&seeder_, &writeRng_, &stuckRng_})
+            for (const std::uint64_t word : rng->state())
+                w.u64(word);
+    }
+
+    void
+    restoreCkpt(ckpt::ChunkReader &r)
+    {
+        for (Random *rng : {&seeder_, &writeRng_, &stuckRng_}) {
+            std::array<std::uint64_t, 4> state;
+            for (std::uint64_t &word : state)
+                word = r.u64();
+            rng->setState(state);
+        }
+    }
+    /** @} */
 
   private:
     Random seeder_;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/ckpt.hh"
 #include "common/logging.hh"
 
 namespace rrm::fault
@@ -180,7 +181,9 @@ FaultManager::onWriteCompleted(Addr phys, pcm::WriteMode mode,
                 config_.maxRetryBackoff,
                 config_.retryBackoff << (attempts - 1));
             bump(statWriteRetries_);
+            ++pendingRewriteEvents_;
             queue_.scheduleAfter(backoff, [this, phys, mode] {
+                --pendingRewriteEvents_;
                 rewrite_(phys, mode);
             });
             // The failed write leaves no (reliable) data behind, so
@@ -397,6 +400,119 @@ FaultManager::regStats(stats::StatGroup &root)
                              startGap_->totalGapMoves());
                      });
     }
+}
+
+void
+FaultManager::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    RRM_ASSERT(pendingRewriteEvents_ == 0,
+               "checkpoint with rewrite retries still scheduled");
+    injector_.saveCkpt(w);
+    retention_.saveCkpt(w);
+    ecp_.saveCkpt(w);
+    retirement_.saveCkpt(w);
+    w.b(startGap_ != nullptr);
+    if (startGap_)
+        startGap_->saveCkpt(w);
+    w.u64(retryAttempts_.size());
+    for (const auto &[block, attempts] : retryAttempts_) {
+        w.u64(block);
+        w.u32(attempts);
+    }
+    w.u64(wearLevel_.size());
+    for (const auto &[region, level] : wearLevel_) {
+        w.u64(region);
+        w.u64(level);
+    }
+    w.b(fallbackActive_);
+    w.u32(saturatedPolls_);
+    w.b(stallTask_ != nullptr);
+    if (stallTask_)
+        w.u64(stallTask_->nextFireAt());
+    w.b(governorTask_ != nullptr);
+    if (governorTask_)
+        w.u64(governorTask_->nextFireAt());
+    w.b(sweepArmed_);
+    if (sweepArmed_)
+        w.u64(sweepAt_);
+}
+
+void
+FaultManager::restoreCkpt(ckpt::ChunkReader &r)
+{
+    RRM_ASSERT(!stallTask_ && !governorTask_ && !sweepArmed_,
+               "restoreCkpt() on a started FaultManager");
+    injector_.restoreCkpt(r);
+    retention_.restoreCkpt(r);
+    ecp_.restoreCkpt(r);
+    retirement_.restoreCkpt(r);
+    const bool has_start_gap = r.b();
+    if (has_start_gap != (startGap_ != nullptr))
+        throw ckpt::CkptError(
+            "StartGap enablement differs between the checkpoint and "
+            "the configuration");
+    if (startGap_)
+        startGap_->restoreCkpt(r);
+    retryAttempts_.clear();
+    const std::uint64_t retries = r.u64();
+    for (std::uint64_t i = 0; i < retries; ++i) {
+        const Addr block = r.u64();
+        retryAttempts_[block] = r.u32();
+    }
+    wearLevel_.clear();
+    const std::uint64_t levels = r.u64();
+    for (std::uint64_t i = 0; i < levels; ++i) {
+        const std::uint64_t region = r.u64();
+        wearLevel_[region] = r.u64();
+    }
+    fallbackActive_ = r.b();
+    saturatedPolls_ = r.u32();
+    // Re-arm in ascending last-arm order (next fire minus period) so
+    // re-created same-priority events reproduce the interrupted run's
+    // relative sequence numbers at any coinciding future fire tick;
+    // ties keep start()'s stall-before-governor order, which is what
+    // a coincident fire re-establishes (DESIGN.md section 16).
+    const bool stall_armed = r.b();
+    const Tick stall_next = stall_armed ? r.u64() : 0;
+    const bool governor_armed = r.b();
+    const Tick governor_next = governor_armed ? r.u64() : 0;
+    const Tick stall_period =
+        secondsToTicks(config_.effectiveStallPeriodSeconds());
+    const Tick governor_period =
+        secondsToTicks(config_.fallbackPollSeconds);
+    const auto arm_stall = [&] {
+        if (stall_armed) {
+            stallTask_ = std::make_unique<PeriodicTask>(
+                queue_, stall_period, stall_next,
+                [this] { injectRefreshStall(); });
+        }
+    };
+    const auto arm_governor = [&] {
+        if (governor_armed) {
+            governorTask_ = std::make_unique<PeriodicTask>(
+                queue_, governor_period, governor_next,
+                [this] { pollRefreshPressure(); });
+        }
+    };
+    if (stall_armed && governor_armed &&
+        governor_next - governor_period < stall_next - stall_period) {
+        arm_governor();
+        arm_stall();
+    } else {
+        arm_stall();
+        arm_governor();
+    }
+    if (r.b()) {
+        const Tick when = r.u64();
+        sweepEvent_ = queue_.schedule(when, [this] {
+            sweepArmed_ = false;
+            sweepRetention();
+        });
+        sweepAt_ = when;
+        sweepArmed_ = true;
+    }
+    // The restored fallback state is already reflected in the policy's
+    // own checkpoint section; no setPressureFallback() replay here.
 }
 
 void

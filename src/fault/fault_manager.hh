@@ -92,6 +92,31 @@ class FaultManager : public Auditable
     std::uint64_t startGapMoves() const;
     const RetentionTracker &retention() const { return retention_; }
 
+    /**
+     * Scheduled-but-unfired rewrite (write-retry backoff) events.
+     * Nonzero means the fault layer is not quiescent: a checkpoint
+     * drain must keep stepping until every rewrite has re-entered the
+     * write path and completed.
+     */
+    unsigned pendingRewriteEvents() const
+    {
+        return pendingRewriteEvents_;
+    }
+
+    /**
+     * @{ Checkpoint injector RNG streams, retention deadlines, ECP /
+     * retirement maps, StartGap domains, retry bookkeeping, wear-level
+     * markers, fallback governor state, and the armed next-fire ticks
+     * of the stall / governor tasks and the retention sweep.
+     * restoreCkpt re-arms the periodic tasks in ascending last-arm
+     * order (next fire minus period) so coincident-tick fires keep
+     * the interrupted run's sequence order, then the sweep; the
+     * manager must not have been start()ed.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     std::string_view auditName() const override { return "fault"; }
     void audit() const override;
 
@@ -140,6 +165,7 @@ class FaultManager : public Auditable
     std::unique_ptr<PeriodicTask> governorTask_;
     bool fallbackActive_ = false;
     unsigned saturatedPolls_ = 0;
+    unsigned pendingRewriteEvents_ = 0;
 
     stats::Scalar *statRetentionStamps_ = nullptr;
     stats::Scalar *statRetentionViolations_ = nullptr;

@@ -5,10 +5,38 @@
 
 #include "repair.hh"
 
+#include "ckpt/ckpt.hh"
 #include "common/check.hh"
 
 namespace rrm::fault
 {
+
+void
+EcpRepair::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(used_.size());
+    for (const auto &[line, used] : used_) {
+        w.u64(line);
+        w.u32(used);
+    }
+}
+
+void
+EcpRepair::restoreCkpt(ckpt::ChunkReader &r)
+{
+    used_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        const unsigned used = r.u32();
+        if (used == 0 || used > budget_)
+            throw ckpt::CkptError(
+                "ECP checkpoint carries an out-of-budget count " +
+                std::to_string(used) + " for line " +
+                std::to_string(line));
+        used_[line] = used;
+    }
+}
 
 void
 EcpRepair::audit() const
@@ -39,6 +67,36 @@ LineRetirement::retire(Addr line)
     map_[line] = spareBase_ + nextSpare_ * blockBytes_;
     ++nextSpare_;
     return true;
+}
+
+void
+LineRetirement::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(nextSpare_);
+    w.u64(map_.size());
+    for (const auto &[line, spare] : map_) {
+        w.u64(line);
+        w.u64(spare);
+    }
+}
+
+void
+LineRetirement::restoreCkpt(ckpt::ChunkReader &r)
+{
+    nextSpare_ = r.u64();
+    map_.clear();
+    const std::uint64_t n = r.u64();
+    if (n != nextSpare_ || n > spareBlocks_)
+        throw ckpt::CkptError(
+            "retirement checkpoint holds " + std::to_string(n) +
+            " entries against " + std::to_string(nextSpare_) +
+            " spares handed out (pool of " +
+            std::to_string(spareBlocks_) + ")");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        const Addr spare = r.u64();
+        map_[line] = spare;
+    }
 }
 
 void

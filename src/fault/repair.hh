@@ -12,6 +12,12 @@
 
 #include "common/units.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::fault
 {
 
@@ -49,6 +55,11 @@ class EcpRepair
 
     unsigned budgetPerLine() const { return budget_; }
     std::size_t repairedLines() const { return used_.size(); }
+
+    /** @{ Checkpoint the per-line pointer-usage map. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     void audit() const;
 
@@ -102,6 +113,11 @@ class LineRetirement
 
     std::uint64_t retiredCount() const { return map_.size(); }
     std::uint64_t spareCapacity() const { return spareBlocks_; }
+
+    /** @{ Checkpoint the remap chains and the spare cursor. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     void audit() const;
 

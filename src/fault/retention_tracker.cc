@@ -5,8 +5,10 @@
 
 #include "retention_tracker.hh"
 
+#include <algorithm>
 #include <utility>
 
+#include "ckpt/ckpt.hh"
 #include "common/check.hh"
 
 namespace rrm::fault
@@ -116,6 +118,43 @@ void
 RetentionTracker::setViolationCallback(ViolationCallback cb)
 {
     onViolation_ = std::move(cb);
+}
+
+void
+RetentionTracker::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(stamps_);
+    w.u64(violations_);
+    // rrm-lint: allow(det-unordered-iter) drained into a vector and
+    // sorted before anything order-dependent happens.
+    std::vector<std::pair<Addr, Tick>> sorted(deadlines_.begin(),
+                                              deadlines_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto &[block, deadline] : sorted) {
+        w.u64(block);
+        w.u64(deadline);
+    }
+}
+
+void
+RetentionTracker::restoreCkpt(ckpt::ChunkReader &r)
+{
+    stamps_ = r.u64();
+    violations_ = r.u64();
+    deadlines_.clear();
+    heap_ = {};
+    const std::uint64_t n = r.u64();
+    deadlines_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr block = r.u64();
+        const Tick deadline = r.u64();
+        if (!deadlines_.emplace(block, deadline).second)
+            throw ckpt::CkptError(
+                "retention checkpoint stamps block " +
+                std::to_string(block) + " twice");
+        heap_.push(HeapEntry{deadline, block});
+    }
 }
 
 void

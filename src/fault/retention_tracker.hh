@@ -24,6 +24,12 @@
 #include "common/units.hh"
 #include "pcm/write_mode.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::fault
 {
 
@@ -71,6 +77,17 @@ class RetentionTracker
     std::uint64_t violations() const { return violations_; }
 
     void setViolationCallback(ViolationCallback cb);
+
+    /**
+     * @{ Checkpoint the live deadline map (sorted by block for a
+     * canonical byte stream) and the stamp/violation counters. The
+     * restore rebuilds a clean heap — equivalent to the lazily
+     * invalidated original, since stale entries are discarded without
+     * side effects when they surface.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     /** Internal-coherence checks, called from FaultManager::audit. */
     void audit() const;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::memctrl
 {
 
@@ -535,6 +537,80 @@ Channel::audit() const
               ": scan memo recorded in the future");
 }
 
+void
+Channel::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    RRM_ASSERT(readQ_.empty() && writeQ_.empty() && refreshQ_.empty(),
+               name_, ": checkpoint at a non-quiescent point (queued "
+                      "requests)");
+    RRM_ASSERT(!retryPending_, name_,
+               ": checkpoint with a scheduler retry pending");
+    RRM_ASSERT(inflightReads_ == 0, name_,
+               ": checkpoint with reads in flight");
+    for (const std::size_t k : {std::size_t(0), std::size_t(1),
+                                std::size_t(2)}) {
+        w.u64(enqueued_[k]);
+        w.u64(retired_[k]);
+    }
+    w.u64(lastCompletionTick_);
+    w.u64(busFreeAt_);
+    w.u32(static_cast<std::uint32_t>(activateHistory_.size()));
+    for (const Tick t : activateHistory_)
+        w.u64(t);
+    w.u64(activateIdx_);
+    w.b(writeDrainMode_);
+    w.u64(refreshHoldUntil_);
+    w.b(scanMemoValid_);
+    w.u64(scanMemoTick_);
+    w.u64(scanMemoEarliest_);
+    w.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &bank : banks_) {
+        RRM_ASSERT(!bank.writing, name_,
+                   ": checkpoint with a bank mid-write");
+        w.u64(bank.busyUntil);
+        w.u64(bank.openRow);
+        w.b(bank.hasOpenRow);
+    }
+}
+
+void
+Channel::restoreCkpt(ckpt::ChunkReader &r)
+{
+    for (const std::size_t k : {std::size_t(0), std::size_t(1),
+                                std::size_t(2)}) {
+        enqueued_[k] = r.u64();
+        retired_[k] = r.u64();
+    }
+    lastCompletionTick_ = r.u64();
+    busFreeAt_ = r.u64();
+    const std::uint32_t history = r.u32();
+    if (history > 8)
+        throw ckpt::CkptError(name_ + ": implausible activate-history "
+                                      "length " +
+                              std::to_string(history));
+    activateHistory_.resize(history);
+    for (Tick &t : activateHistory_)
+        t = r.u64();
+    activateIdx_ = r.u64();
+    writeDrainMode_ = r.b();
+    refreshHoldUntil_ = r.u64();
+    scanMemoValid_ = r.b();
+    scanMemoTick_ = r.u64();
+    scanMemoEarliest_ = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n != banks_.size())
+        throw ckpt::CkptError(
+            name_ + " has " + std::to_string(banks_.size()) +
+            " banks but the checkpoint holds " + std::to_string(n) +
+            " (geometry mismatch)");
+    for (Bank &bank : banks_) {
+        bank.busyUntil = r.u64();
+        bank.openRow = r.u64();
+        bank.hasOpenRow = r.b();
+        bank.writing = false;
+    }
+}
+
 bool
 Channel::idle() const
 {
@@ -542,6 +618,19 @@ Channel::idle() const
         return false;
     for (const auto &bank : banks_)
         if (bank.busyUntil > queue_.now() || bank.writing)
+            return false;
+    return true;
+}
+
+bool
+Channel::quiescent() const
+{
+    if (!readQ_.empty() || !writeQ_.empty() || !refreshQ_.empty())
+        return false;
+    if (retryPending_ || inflightReads_ != 0)
+        return false;
+    for (const auto &bank : banks_)
+        if (bank.writing)
             return false;
     return true;
 }

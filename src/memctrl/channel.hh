@@ -99,6 +99,15 @@ class Channel : public Auditable
     /** True if all queues are empty and all banks idle (tests). */
     bool idle() const;
 
+    /**
+     * True when the channel holds no event-queue obligations: queues
+     * empty, no read in flight, no bank mid-write, no scheduler retry
+     * armed. Unlike idle(), future bank busyUntil ticks are allowed —
+     * they are passive timing state, not pending events. This is the
+     * checkpoint-drain predicate; saveCkpt() asserts it.
+     */
+    bool quiescent() const;
+
     /** Requests accepted into the given queue over the lifetime. */
     std::uint64_t enqueuedCount(ReqKind kind) const
     {
@@ -110,6 +119,17 @@ class Channel : public Auditable
     {
         return retired_[static_cast<std::size_t>(kind)];
     }
+
+    /**
+     * @{ Checkpoint the channel at a quiescent point: all queues must
+     * be empty, no bank mid-write, no read in flight, and no retry
+     * pending (asserted). What remains is bank timing state, the
+     * conservation counters, the tFAW activate ring, and the
+     * scheduler's hysteresis/memo state.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     // ---- Auditable ----
     std::string_view auditName() const override { return name_; }

@@ -67,6 +67,16 @@ class Controller : public Auditable
     /** True if every channel is drained and idle. */
     bool idle() const;
 
+    /** True if every channel is quiescent (see Channel::quiescent). */
+    bool
+    quiescent() const
+    {
+        for (const auto &ch : channels_)
+            if (!ch->quiescent())
+                return false;
+        return true;
+    }
+
     unsigned numChannels() const
     {
         return static_cast<unsigned>(channels_.size());
@@ -76,6 +86,22 @@ class Controller : public Auditable
     const Channel &channel(unsigned i) const { return *channels_.at(i); }
 
     void regStats(stats::StatGroup &group);
+
+    /** @{ Checkpoint every channel, in channel-index order. */
+    void
+    saveCkpt(ckpt::ChunkWriter &w) const
+    {
+        for (const auto &ch : channels_)
+            ch->saveCkpt(w);
+    }
+
+    void
+    restoreCkpt(ckpt::ChunkReader &r)
+    {
+        for (auto &ch : channels_)
+            ch->restoreCkpt(r);
+    }
+    /** @} */
 
     // ---- Auditable ----
     std::string_view auditName() const override { return "memctrl"; }

@@ -5,6 +5,8 @@
 
 #include "start_gap.hh"
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::memctrl
 {
 
@@ -81,6 +83,31 @@ StartGapDomain::audit() const
     }
 }
 
+void
+StartGapDomain::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(start_);
+    w.u64(gap_);
+    w.u64(writesSinceMove_);
+    w.u64(gapMoves_);
+}
+
+void
+StartGapDomain::restoreCkpt(ckpt::ChunkReader &r)
+{
+    start_ = r.u64();
+    gap_ = r.u64();
+    writesSinceMove_ = r.u64();
+    gapMoves_ = r.u64();
+    if (start_ >= numLines_ || gap_ > numLines_ ||
+        writesSinceMove_ >= gapWritePeriod_)
+        throw ckpt::CkptError(
+            "Start-Gap domain pointers out of range (start " +
+            std::to_string(start_) + ", gap " + std::to_string(gap_) +
+            ", writesSinceMove " + std::to_string(writesSinceMove_) +
+            " over " + std::to_string(numLines_) + " lines)");
+}
+
 StartGapRemapper::StartGapRemapper(std::uint64_t memory_bytes,
                                    const StartGapParams &params)
     : params_(params), memoryBytes_(memory_bytes)
@@ -146,6 +173,27 @@ StartGapRemapper::audit() const
               "domains no longer tile the memory exactly");
     for (const auto &d : domains_)
         d.audit();
+}
+
+void
+StartGapRemapper::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(domains_.size()));
+    for (const auto &d : domains_)
+        d.saveCkpt(w);
+}
+
+void
+StartGapRemapper::restoreCkpt(ckpt::ChunkReader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (n != domains_.size())
+        throw ckpt::CkptError(
+            "Start-Gap remapper has " + std::to_string(domains_.size()) +
+            " domains but the checkpoint holds " + std::to_string(n) +
+            " (geometry mismatch)");
+    for (auto &d : domains_)
+        d.restoreCkpt(r);
 }
 
 std::uint64_t

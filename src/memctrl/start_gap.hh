@@ -34,6 +34,12 @@
 #include "common/units.hh"
 #include "obs/trace.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::memctrl
 {
 
@@ -76,6 +82,11 @@ class StartGapDomain
 
     /** Gap movements performed so far. */
     std::uint64_t gapMoves() const { return gapMoves_; }
+
+    /** @{ Checkpoint the rotation pointers and write bookkeeping. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     /**
      * Deep-check the domain: pointer ranges, rotation bookkeeping,
@@ -152,6 +163,11 @@ class StartGapRemapper : public Auditable
     {
         return domains_.at(i);
     }
+
+    /** @{ Checkpoint every rotation domain, in domain-index order. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     // ---- Auditable ----
     std::string_view auditName() const override { return "startGap"; }

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -202,23 +203,35 @@ PerfettoTraceWriter::finish()
 namespace
 {
 
-/** A Perfetto writer owning the file stream it writes to. */
+/**
+ * A Perfetto writer owning the file it writes to. The file is an
+ * AtomicFile: the timeline lands under its final name only on
+ * finish() (which also closes the JSON array), so a killed run never
+ * leaves a truncated — and therefore unloadable — .perfetto file.
+ */
 class OwningPerfettoWriter : public TraceWriter
 {
   public:
-    explicit OwningPerfettoWriter(const std::string &path) : os_(path)
+    explicit OwningPerfettoWriter(const std::string &path) : file_(path)
     {
-        if (!os_)
-            fatal("cannot open perfetto trace file '", path, "'");
-        writer_ = std::make_unique<PerfettoTraceWriter>(os_);
+        writer_ = std::make_unique<PerfettoTraceWriter>(file_.stream());
     }
 
     void write(const TraceEvent &ev) override { writer_->write(ev); }
-    void finish() override { writer_->finish(); }
+
+    void finish() override
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        writer_->finish();
+        file_.commit();
+    }
 
   private:
-    std::ofstream os_;
+    AtomicFile file_;
     std::unique_ptr<PerfettoTraceWriter> writer_;
+    bool finished_ = false;
 };
 
 } // namespace

@@ -5,6 +5,7 @@
 
 #include "sampler.hh"
 
+#include "ckpt/ckpt.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -78,6 +79,53 @@ Sampler::sampleNow()
     RRM_TRACE(traceSink_, queue_.now(), TraceCategory::Sampler,
               "sample", RRM_TF("row", rows_.size() - 1),
               RRM_TF("columns", columns_.size()));
+}
+
+void
+Sampler::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(interval_);
+    w.u64(columns_.size());
+    w.u64(rows_.size());
+    for (const Row &row : rows_) {
+        w.u64(row.tick);
+        for (const double v : row.values)
+            w.f64(v);
+    }
+    w.b(task_ != nullptr);
+    if (task_)
+        w.u64(task_->nextFireAt());
+}
+
+void
+Sampler::restoreCkpt(ckpt::ChunkReader &r)
+{
+    RRM_ASSERT(!task_ && rows_.empty(),
+               "restoreCkpt() on a started sampler");
+    const std::uint64_t interval = r.u64();
+    const std::uint64_t cols = r.u64();
+    if (interval != interval_ || cols != columns_.size())
+        throw ckpt::CkptError(
+            "sampler checkpoint shape mismatch: have interval " +
+            std::to_string(interval_) + " x " +
+            std::to_string(columns_.size()) + " columns, got " +
+            std::to_string(interval) + " x " + std::to_string(cols));
+    const std::uint64_t n = r.u64();
+    rows_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Row row;
+        row.tick = r.u64();
+        row.values.reserve(cols);
+        for (std::uint64_t c = 0; c < cols; ++c)
+            row.values.push_back(r.f64());
+        rows_.push_back(std::move(row));
+    }
+    if (r.b()) {
+        const Tick first = r.u64();
+        task_ = std::make_unique<PeriodicTask>(
+            queue_, interval_, first, [this] { sampleNow(); },
+            EventPriority::Sampler);
+    }
 }
 
 void

@@ -91,6 +91,16 @@ class Sampler
     }
     const std::vector<Row> &rows() const { return rows_; }
 
+    /**
+     * @{ Checkpoint the collected rows and the armed task's next-fire
+     * tick. restoreCkpt() requires the same columns registered and
+     * the task not yet started; if the saved sampler was armed the
+     * periodic task re-arms at its saved next-fire tick.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     /** CSV: header "time_s,<col>,..." then one row per sample. */
     void writeCsv(std::ostream &os) const;
 

@@ -81,6 +81,16 @@ class Telemetry
             static_cast<std::uint64_t>(fraction * 100.0));
     }
 
+    /**
+     * @{ The telemetry tree is standalone (not under the System's
+     * stat root), so the main stats section does not cover it;
+     * checkpoint it separately so telemetry exports also survive a
+     * resume.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const { group_.saveCkpt(w); }
+    void restoreCkpt(ckpt::ChunkReader &r) { group_.restoreCkpt(r); }
+    /** @} */
+
     /** Export the telemetry tree via the standard stat writers. */
     void writeJson(std::ostream &os) const;
     void writeCsv(std::ostream &os) const;

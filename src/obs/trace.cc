@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -163,23 +164,35 @@ TraceSink::finishWriter()
 namespace
 {
 
-/** A writer wrapper owning the file stream it writes to. */
+/**
+ * A writer wrapper owning the file it writes to. The file is an
+ * AtomicFile: the trace lands under its final name only on finish(),
+ * so a killed run leaves no truncated trace behind.
+ */
 template <typename WriterT>
 class OwningFileWriter : public TraceWriter
 {
   public:
     explicit OwningFileWriter(const std::string &path)
-        : os_(path), writer_(os_)
+        : file_(path), writer_(file_.stream())
     {
-        if (!os_)
-            fatal("cannot open trace file '", path, "'");
     }
 
     void write(const TraceEvent &ev) override { writer_.write(ev); }
 
+    void finish() override
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        writer_.finish();
+        file_.commit();
+    }
+
   private:
-    std::ofstream os_;
+    AtomicFile file_;
     WriterT writer_;
+    bool finished_ = false;
 };
 
 } // namespace

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::pcm
 {
 
@@ -113,6 +115,34 @@ WearTracker::reset()
     totals_.fill(0);
     std::fill(regionWear_.begin(), regionWear_.end(), 0);
     auditedTotals_.fill(0);
+}
+
+void
+WearTracker::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    for (const std::uint64_t t : totals_)
+        w.u64(t);
+    w.u32(static_cast<std::uint32_t>(regionWear_.size()));
+    for (const std::uint32_t r : regionWear_)
+        w.u32(r);
+}
+
+void
+WearTracker::restoreCkpt(ckpt::ChunkReader &r)
+{
+    for (std::uint64_t &t : totals_)
+        t = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n != regionWear_.size())
+        throw ckpt::CkptError(
+            "wear tracker has " + std::to_string(regionWear_.size()) +
+            " regions but the checkpoint holds " + std::to_string(n) +
+            " (geometry mismatch)");
+    for (std::uint32_t &rw : regionWear_)
+        rw = r.u32();
+    // Audit bookkeeping restarts from the restored totals; the
+    // non-decrease invariant holds trivially across the resume.
+    auditedTotals_ = totals_;
 }
 
 void

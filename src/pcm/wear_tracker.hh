@@ -26,6 +26,12 @@
 #include "common/math_util.hh"
 #include "common/units.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::pcm
 {
 
@@ -101,6 +107,11 @@ class WearTracker : public Auditable
 
     /** Reset all counters. */
     void reset();
+
+    /** @{ Checkpoint per-cause totals and per-region counters. */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
     // ---- Auditable ----
     std::string_view auditName() const override { return "wear"; }

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::policy
 {
 
@@ -50,6 +52,24 @@ AdaptiveRrmPolicy::writeConfigJson(obs::JsonWriter &json) const
     json.field("maxThresholdMultiple", adaptive_.maxThresholdMultiple);
     json.field("baseHotThreshold", baseThreshold_);
     json.endObject();
+}
+
+void
+AdaptiveRrmPolicy::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    RrmPolicy::saveCkpt(w);
+    // baseThreshold_ is config-derived; the adapted threshold itself
+    // travels inside the monitor's section.
+    w.u64(lastLookups_);
+    w.u64(lastHotHits_);
+}
+
+void
+AdaptiveRrmPolicy::restoreCkpt(ckpt::ChunkReader &r)
+{
+    RrmPolicy::restoreCkpt(r);
+    lastLookups_ = r.u64();
+    lastHotHits_ = r.u64();
 }
 
 void

@@ -34,6 +34,11 @@ class AdaptiveRrmPolicy final : public RrmPolicy
     void regStats(stats::StatGroup &root) override;
     void writeConfigJson(obs::JsonWriter &json) const override;
 
+    /** @{ Monitor state plus the feedback law's epoch snapshots. */
+    void saveCkpt(ckpt::ChunkWriter &w) const override;
+    void restoreCkpt(ckpt::ChunkReader &r) override;
+    /** @} */
+
     const AdaptiveRrmConfig &adaptiveConfig() const { return adaptive_; }
 
     /** The threshold the feedback law is currently holding. */

@@ -99,6 +99,18 @@ class RrmPolicy : public WritePolicy
 
     void writeConfigJson(obs::JsonWriter &json) const override;
 
+    /** @{ Runtime state lives in the monitor; delegate wholesale. */
+    void saveCkpt(ckpt::ChunkWriter &w) const override
+    {
+        monitor_->saveCkpt(w);
+    }
+
+    void restoreCkpt(ckpt::ChunkReader &r) override
+    {
+        monitor_->restoreCkpt(r);
+    }
+    /** @} */
+
     const monitor::RegionMonitor *monitor() const override
     {
         return monitor_.get();

@@ -153,6 +153,20 @@ class WritePolicy
         (void)json;
     }
 
+    // ---- Checkpointing ----
+
+    /**
+     * @{ Serialize / restore runtime decision state: hot/cold tables,
+     * adaptation counters, and the armed next-fire ticks of any
+     * periodic policy interrupts. The default is stateless — policies
+     * whose decisions are a pure function of config (StaticPolicy)
+     * need nothing. restoreCkpt() is only legal before start(); it
+     * re-arms restored interrupts at their saved next-fire ticks.
+     */
+    virtual void saveCkpt(ckpt::ChunkWriter &w) const { (void)w; }
+    virtual void restoreCkpt(ckpt::ChunkReader &r) { (void)r; }
+    /** @} */
+
     // ---- Introspection ----
 
     /**

@@ -5,6 +5,8 @@
 
 #include "region_monitor.hh"
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::monitor
 {
 
@@ -477,6 +479,107 @@ RegionMonitor::audit() const
     RRM_AUDIT(shortRetentionBlockCount() == vector_bits,
               "shortRetentionBlockCount() ", shortRetentionBlockCount(),
               " != recomputed vector popcount ", vector_bits);
+}
+
+void
+RegionMonitor::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u32(config_.hotThreshold);
+    w.b(pressureFallback_);
+    w.u64(lruClock_);
+    w.u64(registrationLookups_);
+    w.u64(registrationHits_);
+    w.u64(registrationHotHits_);
+    w.b(refreshTask_ != nullptr);
+    if (refreshTask_) {
+        w.u64(refreshTask_->nextFireAt());
+        w.u64(decayTask_->nextFireAt());
+    }
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.u64(e.regionId);
+        w.u64(e.lruStamp);
+        w.u32(e.dirtyWriteCounter);
+        w.u32(e.decayCounter);
+        w.b(e.valid);
+        w.b(e.hot);
+        for (const std::uint64_t word : e.shortRetentionVector.words())
+            w.u64(word);
+    }
+}
+
+void
+RegionMonitor::restoreCkpt(ckpt::ChunkReader &r)
+{
+    RRM_ASSERT(!refreshTask_ && !decayTask_,
+               "restoreCkpt() on a started RegionMonitor");
+    // Direct assignment: setHotThreshold() would emit reconciliation
+    // refreshes, but the saved entry table is already consistent with
+    // the saved threshold.
+    config_.hotThreshold = r.u32();
+    pressureFallback_ = r.b();
+    lruClock_ = r.u64();
+    registrationLookups_ = r.u64();
+    registrationHits_ = r.u64();
+    registrationHotHits_ = r.u64();
+    const bool armed = r.b();
+    Tick refresh_next = 0;
+    Tick decay_next = 0;
+    if (armed) {
+        refresh_next = r.u64();
+        decay_next = r.u64();
+    }
+    const std::uint32_t n = r.u32();
+    if (n != entries_.size())
+        throw ckpt::CkptError(
+            "RRM has " + std::to_string(entries_.size()) +
+            " entries but the checkpoint holds " + std::to_string(n) +
+            " (geometry mismatch)");
+    const std::size_t vector_words =
+        (config_.blocksPerRegion() + 63) / 64;
+    std::vector<std::uint64_t> words(vector_words);
+    for (Entry &e : entries_) {
+        e.regionId = r.u64();
+        e.lruStamp = r.u64();
+        e.dirtyWriteCounter = r.u32();
+        e.decayCounter = r.u32();
+        e.valid = r.b();
+        e.hot = r.b();
+        for (std::uint64_t &word : words)
+            word = r.u64();
+        e.shortRetentionVector.setWords(words);
+    }
+    if (armed) {
+        // Re-arm in ascending last-arm order (next fire minus period):
+        // both tasks run at RefreshInterrupt priority, so when their
+        // fire ticks coincide the one whose pending event is OLDER
+        // (lower sequence number) fires first. Re-creating the events
+        // in last-arm order reproduces the interrupted run's relative
+        // sequence numbers (DESIGN.md section 16). Ties (both re-armed
+        // at one coincident tick, or neither has fired yet) preserve
+        // start()'s refresh-before-decay order, which is exactly the
+        // order a coincident fire re-establishes.
+        const Tick interval = config_.shortRetentionInterval();
+        const Tick decay = config_.decayTickInterval();
+        const auto arm_refresh = [&] {
+            refreshTask_ = std::make_unique<PeriodicTask>(
+                queue_, interval, refresh_next,
+                [this] { onShortRetentionInterrupt(); },
+                EventPriority::RefreshInterrupt);
+        };
+        const auto arm_decay = [&] {
+            decayTask_ = std::make_unique<PeriodicTask>(
+                queue_, decay, decay_next, [this] { onDecayTick(); },
+                EventPriority::RefreshInterrupt);
+        };
+        if (decay_next - decay < refresh_next - interval) {
+            arm_decay();
+            arm_refresh();
+        } else {
+            arm_refresh();
+            arm_decay();
+        }
+    }
 }
 
 RegionMonitor::Entry &

@@ -200,6 +200,18 @@ class RegionMonitor : public Auditable
 
     void regStats(stats::StatGroup &group);
 
+    /**
+     * @{ Checkpoint the entry table, LRU clock, registration
+     * counters, pressure-fallback flag, the runtime hot threshold,
+     * and — when the periodic interrupts are armed — their next-fire
+     * ticks. restoreCkpt re-arms the interrupts at the saved ticks
+     * (refresh first, then decay, matching start()'s arm order); the
+     * monitor must not have been start()ed before restoring.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
+
     // ---- Auditable ----
     std::string_view auditName() const override { return "rrm"; }
 

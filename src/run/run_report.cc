@@ -22,6 +22,8 @@ runStatusName(RunStatus status)
         return "cancelled";
       case RunStatus::TimedOut:
         return "timed-out";
+      case RunStatus::Interrupted:
+        return "interrupted";
     }
     return "unknown";
 }
@@ -59,6 +61,15 @@ RunReport::timedOutCount() const
     std::size_t n = 0;
     for (const auto &r : runs)
         n += r.status == RunStatus::TimedOut;
+    return n;
+}
+
+std::size_t
+RunReport::interruptedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : runs)
+        n += r.status == RunStatus::Interrupted;
     return n;
 }
 
@@ -115,6 +126,8 @@ RunReport::registerStats(stats::StatGroup &parent) const
         .set(static_cast<double>(cancelledCount()));
     g.addScalar("timedOut", "runs that exceeded their timeout")
         .set(static_cast<double>(timedOutCount()));
+    g.addScalar("interrupted", "runs stopped by SIGINT/SIGTERM")
+        .set(static_cast<double>(interruptedCount()));
     g.addScalar("jobs", "worker threads used")
         .set(static_cast<double>(jobs));
     g.addScalar("wallSeconds", "host wall-clock of the whole plan")

@@ -32,11 +32,19 @@ enum class RunStatus : std::uint8_t
     Failed,    ///< the run threw; see RunResult::error
     Cancelled, ///< never started: --fail-fast after an earlier failure
     TimedOut,  ///< exceeded its wall-clock timeout on every attempt
+
+    /**
+     * Stopped by a graceful-stop request (SIGINT/SIGTERM via
+     * common/interrupt.hh). The run wrote a best-effort final
+     * checkpoint first when checkpointing was configured; it is
+     * never retried.
+     */
+    Interrupted,
 };
 
 /**
  * Stable lower-case status name
- * ("ok", "failed", "cancelled", "timed-out").
+ * ("ok", "failed", "cancelled", "timed-out", "interrupted").
  */
 const char *runStatusName(RunStatus status);
 
@@ -89,6 +97,7 @@ struct RunReport
     std::size_t failedCount() const;
     std::size_t cancelledCount() const;
     std::size_t timedOutCount() const;
+    std::size_t interruptedCount() const;
     bool allOk() const { return completedCount() == runs.size(); }
     /** @} */
 

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "obs/run_record.hh"
 #include "system/system.hh"
@@ -62,15 +63,32 @@ executeOne(Execution &ex, std::size_t index)
 {
     const RunSpec &spec = ex.plan[index];
     RunResult &slot = ex.report.runs[index];
+
+    // A graceful-stop request between dispatch and start leaves the
+    // slot Cancelled, exactly like a run that was never dispatched.
+    if (interruptRequested())
+        return;
     const double start = obs::monotonicSeconds();
 
     sys::SystemConfig config = spec.config;
     if (config.wallTimeoutSeconds == 0.0)
         config.wallTimeoutSeconds = ex.options.timeoutSeconds;
+    const bool checkpointing = config.checkpointEveryEpochs > 0 &&
+                               !config.checkpointDir.empty();
 
     const unsigned attempts = 1 + ex.options.retries;
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        // Stop retrying once a stop was requested; the last attempt's
+        // status (TimedOut/Failed) stands.
+        if (attempt > 1 && interruptRequested())
+            break;
         slot.attempts = attempt;
+        // Re-attempts of a checkpointing run pick up from the newest
+        // valid checkpoint the failed attempt published (tryResume
+        // falls back older -> cold start on corruption), so a timed
+        // out long run does not repeat its completed hours.
+        if (attempt > 1 && checkpointing)
+            config.resumeFromCheckpoint = true;
         try {
             sys::System system(config);
             slot.results = system.run();
@@ -78,6 +96,13 @@ executeOne(Execution &ex, std::size_t index)
                 spec.postRun(system, slot.results);
             slot.status = RunStatus::Ok;
             slot.error.clear();
+            break;
+        } catch (const sys::SimInterruptedError &e) {
+            // The System already drained and wrote its best-effort
+            // final checkpoint before unwinding. Never retried: the
+            // user asked the whole pool to stop.
+            slot.status = RunStatus::Interrupted;
+            slot.error = e.what();
             break;
         } catch (const sys::SimTimeoutError &e) {
             slot.status = RunStatus::TimedOut;
@@ -141,8 +166,14 @@ void
 workerLoop(Execution &ex)
 {
     while (true) {
-        if (ex.aborted.load(std::memory_order_relaxed))
+        // A stop request drains the pool exactly like --fail-fast:
+        // dispatch ends, in-flight runs finish (each recording
+        // Interrupted through the serialized progress path), queued
+        // runs stay Cancelled, and the report is still complete.
+        if (ex.aborted.load(std::memory_order_relaxed) ||
+            interruptRequested()) {
             return;
+        }
         const std::size_t index =
             ex.next.fetch_add(1, std::memory_order_relaxed);
         if (index >= ex.plan.size())

@@ -101,6 +101,11 @@ struct RunnerOptions
      * Re-attempts after a failed or timed-out run: each run executes
      * at most `1 + retries` times on a fresh System; the first Ok
      * attempt wins. The final status reflects the last attempt.
+     * When the run's config enables checkpointing, re-attempts set
+     * SystemConfig::resumeFromCheckpoint so they continue from the
+     * newest valid checkpoint (older on corruption, then cold)
+     * instead of repeating the completed portion. Interrupted runs
+     * (SIGINT/SIGTERM) are never retried.
      */
     unsigned retries = 0;
 

@@ -355,6 +355,7 @@ PeriodicTask::PeriodicTask(EventQueue &queue, Tick period, Tick first,
 void
 PeriodicTask::arm(Tick when)
 {
+    nextFireAt_ = when;
     pending_ = queue_.schedule(
         when,
         [this] {

@@ -192,6 +192,32 @@ class EventQueue : public Auditable
     /** Total events executed over the queue's lifetime. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /** Sequence number the next schedule() call will take. */
+    std::uint64_t nextSeq() const { return nextSeq_; }
+
+    /**
+     * Checkpoint restore: reset the clock, sequence counter, and
+     * executed-event count to a saved quiescent point. Only legal on
+     * an empty queue — a restored run re-arms its periodic events
+     * *after* this call, so their sequence numbers land at
+     * next_seq, next_seq+1, ... exactly as a continuing run's
+     * periodic re-arms would relative to later schedule() calls (the
+     * uniform-shift argument of DESIGN.md section 16).
+     */
+    void
+    restoreClock(Tick now, std::uint64_t next_seq,
+                 std::uint64_t executed)
+    {
+        RRM_ASSERT(empty(),
+                   "restoreClock() on a queue with pending events");
+        RRM_ASSERT(now >= now_ && next_seq >= nextSeq_,
+                   "restoreClock() would move time or sequences "
+                   "backwards");
+        now_ = now;
+        nextSeq_ = next_seq;
+        executed_ = executed;
+    }
+
     /**
      * Account one extra logical event execution at the given
      * priority. Used by DelayQueue batch delivery: one physical event
@@ -348,6 +374,13 @@ class PeriodicTask
     bool running() const { return running_; }
     Tick period() const { return period_; }
 
+    /**
+     * Absolute tick of the next invocation (checkpointing: saved at a
+     * quiescent point and passed back as `first` on restore). Only
+     * meaningful while running().
+     */
+    Tick nextFireAt() const { return nextFireAt_; }
+
   private:
     void arm(Tick when);
 
@@ -356,6 +389,7 @@ class PeriodicTask
     EventCallback cb_;
     EventPriority prio_;
     EventHandle pending_;
+    Tick nextFireAt_ = 0;
     bool running_ = false;
 };
 

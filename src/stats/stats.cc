@@ -9,6 +9,8 @@
 #include <iomanip>
 #include <numeric>
 
+#include "ckpt/ckpt.hh"
+
 namespace rrm::stats
 {
 
@@ -244,6 +246,186 @@ StatGroup::find(const std::string &dotted_path) const
         if (stat->name() == dotted_path)
             return stat.get();
     return nullptr;
+}
+
+// ------------------------------------------------- checkpointing
+
+namespace
+{
+
+// Framing tags of the stats checkpoint payload. Formulas are derived
+// state and are not framed at all.
+enum CkptTag : std::uint8_t
+{
+    kTagScalar = 1,
+    kTagVector = 2,
+    kTagDistribution = 3,
+    kTagHistogram = 4,
+    kTagEnterGroup = 10,
+    kTagLeaveGroup = 11,
+};
+
+/** Kind tag of a stat, or 0 for kinds that carry no state. */
+std::uint8_t
+tagOf(const StatBase &stat)
+{
+    if (dynamic_cast<const Scalar *>(&stat))
+        return kTagScalar;
+    if (dynamic_cast<const VectorStat *>(&stat))
+        return kTagVector;
+    if (dynamic_cast<const DistributionStat *>(&stat))
+        return kTagDistribution;
+    if (dynamic_cast<const HistogramStat *>(&stat))
+        return kTagHistogram;
+    return 0;
+}
+
+} // namespace
+
+void
+Scalar::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.f64(value_);
+}
+
+void
+Scalar::restoreCkpt(ckpt::ChunkReader &r)
+{
+    value_ = r.f64();
+}
+
+void
+VectorStat::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(values_.size()));
+    for (const double v : values_)
+        w.f64(v);
+}
+
+void
+VectorStat::restoreCkpt(ckpt::ChunkReader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (n != values_.size())
+        throw ckpt::CkptError("stat vector '" + name() + "' has " +
+                              std::to_string(values_.size()) +
+                              " bins but the checkpoint holds " +
+                              std::to_string(n));
+    for (double &v : values_)
+        v = r.f64();
+}
+
+void
+DistributionStat::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(hist_.numBuckets()));
+    for (std::size_t i = 0; i < hist_.numBuckets(); ++i)
+        w.u64(hist_.count(i));
+    w.u64(hist_.total());
+    const SampleStats::Raw raw = samples_.raw();
+    w.u64(raw.n);
+    w.f64(raw.sum);
+    w.f64(raw.mean);
+    w.f64(raw.m2);
+    w.f64(raw.min);
+    w.f64(raw.max);
+}
+
+void
+DistributionStat::restoreCkpt(ckpt::ChunkReader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (n != hist_.numBuckets())
+        throw ckpt::CkptError("stat distribution '" + name() +
+                              "' has " +
+                              std::to_string(hist_.numBuckets()) +
+                              " buckets but the checkpoint holds " +
+                              std::to_string(n));
+    std::vector<std::uint64_t> counts(n);
+    for (std::uint64_t &c : counts)
+        c = r.u64();
+    const std::uint64_t total = r.u64();
+    hist_.restoreCounts(counts, total);
+    SampleStats::Raw raw;
+    raw.n = r.u64();
+    raw.sum = r.f64();
+    raw.mean = r.f64();
+    raw.m2 = r.f64();
+    raw.min = r.f64();
+    raw.max = r.f64();
+    samples_.setRaw(raw);
+}
+
+void
+HistogramStat::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    for (const std::uint64_t c : counts_)
+        w.u64(c);
+    w.u64(samples_);
+    w.f64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+}
+
+void
+HistogramStat::restoreCkpt(ckpt::ChunkReader &r)
+{
+    for (std::uint64_t &c : counts_)
+        c = r.u64();
+    samples_ = r.u64();
+    sum_ = r.f64();
+    min_ = r.u64();
+    max_ = r.u64();
+}
+
+void
+StatGroup::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u8(kTagEnterGroup);
+    w.str(name_);
+    for (const auto &stat : statsInOrder_) {
+        const std::uint8_t tag = tagOf(*stat);
+        if (tag == 0)
+            continue;
+        w.u8(tag);
+        w.str(stat->name());
+        stat->saveCkpt(w);
+    }
+    for (const auto &child : children_)
+        child->saveCkpt(w);
+    w.u8(kTagLeaveGroup);
+}
+
+void
+StatGroup::restoreCkpt(ckpt::ChunkReader &r)
+{
+    if (r.u8() != kTagEnterGroup)
+        throw ckpt::CkptError("stats checkpoint: expected group frame "
+                              "for '" + name_ + "'");
+    if (const std::string saved = r.str(); saved != name_)
+        throw ckpt::CkptError("stats checkpoint: group '" + name_ +
+                              "' does not match checkpointed group '" +
+                              saved + "'");
+    for (const auto &stat : statsInOrder_) {
+        const std::uint8_t tag = tagOf(*stat);
+        if (tag == 0)
+            continue;
+        const std::uint8_t saved_tag = r.u8();
+        const std::string saved_name = r.str();
+        if (saved_tag != tag || saved_name != stat->name())
+            throw ckpt::CkptError(
+                "stats checkpoint: group '" + name_ + "' expects " +
+                stat->name() + " next but the checkpoint holds '" +
+                saved_name + "' (tag " + std::to_string(saved_tag) +
+                ")");
+        stat->restoreCkpt(r);
+    }
+    for (const auto &child : children_)
+        child->restoreCkpt(r);
+    if (r.u8() != kTagLeaveGroup)
+        throw ckpt::CkptError("stats checkpoint: group '" + name_ +
+                              "' holds more stats than this build "
+                              "registers");
 }
 
 } // namespace rrm::stats

@@ -37,6 +37,12 @@
 #include "common/histogram.hh"
 #include "common/logging.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::stats
 {
 
@@ -96,6 +102,16 @@ class StatBase
     /** Reset to initial value. */
     virtual void reset() = 0;
 
+    /**
+     * @{ Checkpoint the stat's accumulated value(s). The default is
+     * stateless (Formula: derived values re-evaluate against restored
+     * operands). Restore throws ckpt::CkptError on malformed payloads
+     * so a corrupted checkpoint falls back instead of crashing.
+     */
+    virtual void saveCkpt(ckpt::ChunkWriter &w) const { (void)w; }
+    virtual void restoreCkpt(ckpt::ChunkReader &r) { (void)r; }
+    /** @} */
+
   private:
     std::string name_;
     std::string desc_;
@@ -131,6 +147,9 @@ class Scalar : public StatBase
     }
 
     void reset() override { value_ = 0.0; }
+
+    void saveCkpt(ckpt::ChunkWriter &w) const override;
+    void restoreCkpt(ckpt::ChunkReader &r) override;
 
   private:
     double value_ = 0.0;
@@ -177,6 +196,9 @@ class VectorStat : public StatBase
     }
 
     void reset() override;
+
+    void saveCkpt(ckpt::ChunkWriter &w) const override;
+    void restoreCkpt(ckpt::ChunkReader &r) override;
 
   private:
     std::vector<std::string> binNames_;
@@ -249,6 +271,9 @@ class DistributionStat : public StatBase
         samples_.reset();
     }
 
+    void saveCkpt(ckpt::ChunkWriter &w) const override;
+    void restoreCkpt(ckpt::ChunkReader &r) override;
+
   private:
     BoundedHistogram hist_;
     SampleStats samples_;
@@ -307,6 +332,9 @@ class HistogramStat : public StatBase
     }
 
     void reset() override;
+
+    void saveCkpt(ckpt::ChunkWriter &w) const override;
+    void restoreCkpt(ckpt::ChunkReader &r) override;
 
   private:
     std::array<std::uint64_t, kNumBuckets> counts_{};
@@ -374,6 +402,20 @@ class StatGroup
      *    containing dots remain reachable.
      */
     const StatBase *find(const std::string &dotted_path) const;
+
+    /**
+     * @{ Checkpoint every stat in this group and its children, in
+     * registration order. The payload is self-describing: each stat
+     * is framed with a kind tag and its name, and group boundaries
+     * are explicit, so restoreCkpt() detects any structural drift
+     * between the checkpointed tree and the live one and throws
+     * ckpt::CkptError naming the first divergence (a resumed run
+     * must register the identical stat tree). Formulas hold no state
+     * and are not framed.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
   private:
     template <typename T, typename... Args>

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 
@@ -95,6 +96,53 @@ RegionWriteProfiler::regionsByMeanInterval() const
         buckets[idx].writes += info.count;
     }
     return buckets;
+}
+
+void
+RegionWriteProfiler::saveCkpt(ckpt::ChunkWriter &w) const
+{
+    w.u64(intervalHist_.numBuckets());
+    for (std::size_t i = 0; i < intervalHist_.numBuckets(); ++i)
+        w.u64(intervalHist_.count(i));
+    w.u64(intervalHist_.total());
+    w.u64(regions_.size());
+    for (const auto &[region, info] : regions_) {
+        w.u64(region);
+        w.u64(info.firstWrite);
+        w.u64(info.lastWrite);
+        w.u64(info.count);
+    }
+    w.u64(totalWrites_);
+}
+
+void
+RegionWriteProfiler::restoreCkpt(ckpt::ChunkReader &r)
+{
+    const std::uint64_t buckets = r.u64();
+    if (buckets != intervalHist_.numBuckets())
+        throw ckpt::CkptError(
+            "profiler checkpoint has " + std::to_string(buckets) +
+            " interval buckets, this run has " +
+            std::to_string(intervalHist_.numBuckets()));
+    std::vector<std::uint64_t> counts(buckets);
+    for (std::uint64_t i = 0; i < buckets; ++i)
+        counts[i] = r.u64();
+    intervalHist_.restoreCounts(counts, r.u64());
+    regions_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t region = r.u64();
+        if (region >= totalRegions_)
+            throw ckpt::CkptError(
+                "profiler checkpoint region " + std::to_string(region) +
+                " outside the studied memory (" +
+                std::to_string(totalRegions_) + " regions)");
+        RegionInfo &info = regions_[region];
+        info.firstWrite = r.u64();
+        info.lastWrite = r.u64();
+        info.count = r.u64();
+    }
+    totalWrites_ = r.u64();
 }
 
 void

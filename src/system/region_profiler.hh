@@ -20,6 +20,12 @@
 #include "common/histogram.hh"
 #include "common/units.hh"
 
+namespace rrm::ckpt
+{
+class ChunkWriter;
+class ChunkReader;
+} // namespace rrm::ckpt
+
 namespace rrm::sys
 {
 
@@ -82,6 +88,15 @@ class RegionWriteProfiler
     std::vector<RegionBucket> regionsByMeanInterval() const;
 
     void reset();
+
+    /**
+     * @{ Checkpoint the interval histogram counts, the per-region
+     * write records, and the total. Bucket boundaries and region
+     * geometry are construction state and must match on restore.
+     */
+    void saveCkpt(ckpt::ChunkWriter &w) const;
+    void restoreCkpt(ckpt::ChunkReader &r);
+    /** @} */
 
   private:
     struct RegionInfo

@@ -7,7 +7,10 @@
 
 #include <fstream>
 
+#include "common/atomic_file.hh"
+
 #include "common/auditable.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "obs/perfetto.hh"
 #include "obs/run_record.hh"
@@ -40,6 +43,14 @@ SystemConfig::validate() const
     fault.collectErrors(errors, memory.refreshQueueCap);
     if (wallTimeoutSeconds < 0.0)
         errors.push_back("wall-clock timeout must be >= 0");
+    if (checkpointEveryEpochs > 0 && checkpointDir.empty())
+        errors.push_back(
+            "checkpointEveryEpochs > 0 requires a checkpointDir");
+    if (resumeFromCheckpoint && checkpointEveryEpochs == 0) {
+        errors.push_back(
+            "resumeFromCheckpoint requires checkpointEveryEpochs > 0 "
+            "(the resumed run must keep the quiesce cadence)");
+    }
     if (traceMode == trace::TraceMode::Materialized && !traceCache)
         errors.push_back(
             "traceMode Materialized requires a traceCache");
@@ -182,6 +193,16 @@ System::System(SystemConfig config)
 
     buildCores();
     setupObservability();
+
+    if (config_.checkpointEveryEpochs > 0) {
+        // Epoch = the policy's preferred sample interval (the RRM
+        // decay tick), so every quiescent point sits just after a
+        // settled decay epoch; monitor-less policies fall back to the
+        // paper's native 0.125 s tick compressed by the time scale.
+        ckptEpochTicks_ = policy_->preferredSampleInterval();
+        if (ckptEpochTicks_ == 0)
+            ckptEpochTicks_ = secondsToTicks(0.125 / config_.timeScale);
+    }
 }
 
 System::~System() = default;
@@ -417,7 +438,9 @@ System::issueMemoryWrite(Addr addr, Tick when)
     if (when <= queue_.now()) {
         writePath_->queueWriteback(phys, mode);
     } else {
+        ++pendingWritebackEvents_;
         queue_.schedule(when, [this, phys, mode] {
+            --pendingWritebackEvents_;
             writePath_->queueWriteback(phys, mode);
         });
     }
@@ -551,11 +574,9 @@ System::runAudits()
 void
 System::runSlice(Tick until)
 {
+    // Always batched: the per-batch interrupt poll is what turns a
+    // SIGINT/SIGTERM into a graceful drain instead of a lost run.
     const bool timed = config_.wallTimeoutSeconds > 0.0;
-    if (!timed && config_.auditEveryEvents == 0) {
-        queue_.run(until);
-        return;
-    }
     const std::uint64_t batch = config_.auditEveryEvents != 0
                                     ? config_.auditEveryEvents
                                     : (std::uint64_t{1} << 20);
@@ -564,6 +585,10 @@ System::runSlice(Tick until)
             throw SimTimeoutError(
                 "run exceeded its wall-clock timeout of " +
                 std::to_string(config_.wallTimeoutSeconds) + " s");
+        }
+        if (interruptRequested()) {
+            throw SimInterruptedError(
+                "graceful stop requested (SIGINT/SIGTERM)");
         }
         if (queue_.run(until, batch) == 0)
             break;
@@ -587,30 +612,53 @@ System::run()
             obs::monotonicSeconds() + config_.wallTimeoutSeconds;
     }
 
-    for (auto &core : cores_)
-        core->start();
-    policy_->start();
-    if (faultMgr_)
-        faultMgr_->start();
-    if (sampler_)
-        sampler_->start();
+    bool resumed = false;
+    if (config_.resumeFromCheckpoint)
+        resumed = tryResume();
 
-    {
-        RRM_PROFILE(prof, "warmup");
-        runSlice(warmup_end);
+    if (resumed) {
+        // Periodic tasks were re-armed at their saved next-fire
+        // ticks during restore; the cores came back paused. Unpause
+        // in core-index order so the re-created advance events take
+        // the same sequence numbers an undisturbed run's would.
+        for (auto &core : cores_)
+            core->unpause();
+    } else {
+        for (auto &core : cores_)
+            core->start();
+        policy_->start();
+        if (faultMgr_)
+            faultMgr_->start();
+        if (sampler_)
+            sampler_->start();
     }
-    resetMeasurement();
-    const Tick measure_start = queue_.now();
 
-    {
-        RRM_PROFILE(prof, "measure");
-        runSlice(end);
+    try {
+        if (!measuring_) {
+            {
+                RRM_PROFILE(prof, "warmup");
+                runCkptSlice(warmup_end);
+            }
+            resetMeasurement();
+            measureStart_ = queue_.now();
+            measuring_ = true;
+        }
+        {
+            RRM_PROFILE(prof, "measure");
+            runCkptSlice(end);
+        }
+    } catch (const SimTimeoutError &) {
+        emergencyCheckpoint();
+        throw;
+    } catch (const SimInterruptedError &) {
+        emergencyCheckpoint();
+        throw;
     }
 
     SimResults results;
     {
         RRM_PROFILE(prof, "collect");
-        results = collectResults(measure_start, end);
+        results = collectResults(measureStart_, end);
     }
     writeObsOutputs(results);
     return results;
@@ -620,36 +668,39 @@ void
 System::writeObsOutputs(const SimResults &r)
 {
     const obs::ObsOptions &o = config_.obs;
-    const auto open = [](const std::string &path) {
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot open observability output file ", path);
-        return os;
-    };
+    // Every output goes through AtomicFile (write-temp-and-rename), so
+    // a run killed mid-write never leaves a truncated record behind —
+    // the previous file (if any) survives intact instead.
+    const auto write =
+        [](const std::string &path, const auto &emit) {
+            AtomicFile file(path);
+            emit(file.stream());
+            file.commit();
+        };
 
     if (sampler_) {
         sampler_->stop();
         if (!o.sampleCsvFile.empty()) {
-            auto os = open(o.sampleCsvFile);
-            sampler_->writeCsv(os);
+            write(o.sampleCsvFile,
+                  [&](std::ostream &os) { sampler_->writeCsv(os); });
         }
         if (!o.sampleJsonlFile.empty()) {
-            auto os = open(o.sampleJsonlFile);
-            sampler_->writeJsonl(os);
+            write(o.sampleJsonlFile,
+                  [&](std::ostream &os) { sampler_->writeJsonl(os); });
         }
     }
     if (!o.runRecordFile.empty()) {
-        auto os = open(o.runRecordFile);
-        writeRunRecord(os, r);
+        write(o.runRecordFile,
+              [&](std::ostream &os) { writeRunRecord(os, r); });
     }
     if (telemetry_) {
         if (!o.telemetryJsonFile.empty()) {
-            auto os = open(o.telemetryJsonFile);
-            telemetry_->writeJson(os);
+            write(o.telemetryJsonFile,
+                  [&](std::ostream &os) { telemetry_->writeJson(os); });
         }
         if (!o.telemetryCsvFile.empty()) {
-            auto os = open(o.telemetryCsvFile);
-            telemetry_->writeCsv(os);
+            write(o.telemetryCsvFile,
+                  [&](std::ostream &os) { telemetry_->writeCsv(os); });
         }
     }
     if (traceSink_)

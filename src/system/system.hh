@@ -39,6 +39,12 @@
 #include "system/write_path.hh"
 #include "trace/workload.hh"
 
+namespace rrm::ckpt
+{
+class CkptWriter;
+class CkptReader;
+} // namespace rrm::ckpt
+
 namespace rrm::sys
 {
 
@@ -48,6 +54,18 @@ namespace rrm::sys
  * records the run as timed out instead of failing the whole plan.
  */
 class SimTimeoutError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Thrown by System::run when a graceful stop was requested
+ * (common/interrupt.hh — a SIGINT/SIGTERM handler or the embedding
+ * application). Before it propagates, run() writes a final
+ * best-effort checkpoint when checkpointing is configured.
+ */
+class SimInterruptedError : public std::runtime_error
 {
   public:
     using std::runtime_error::runtime_error;
@@ -123,6 +141,33 @@ struct SystemConfig
      * SimTimeoutError between event batches. 0 disables the check.
      */
     double wallTimeoutSeconds = 0.0;
+
+    /**
+     * Crash-safe checkpointing (DESIGN.md section 16). When > 0 the
+     * run quiesces at EVERY policy epoch boundary (the policy's
+     * preferred sample interval; the RRM decay tick) and publishes a
+     * .rckpt file into checkpointDir at every checkpointEveryEpochs-th
+     * epoch. 0 (the default) disables the whole mechanism and leaves
+     * event scheduling untouched — existing goldens are unaffected.
+     *
+     * Byte-identity contract: a checkpoint-enabled run killed and
+     * resumed from any published checkpoint produces the same final
+     * run record as the same checkpoint-enabled run left undisturbed,
+     * because both quiesce at the same epoch ticks.
+     */
+    std::uint64_t checkpointEveryEpochs = 0;
+
+    /** Directory .rckpt files are published into (must exist). */
+    std::string checkpointDir;
+
+    /**
+     * Restore the newest valid checkpoint in checkpointDir before
+     * running; corrupt or incompatible files fall back to the next
+     * older one, and an empty directory falls back to a cold start.
+     * Requires checkpointEveryEpochs > 0 (the resumed run must keep
+     * the interrupted run's quiesce cadence).
+     */
+    bool resumeFromCheckpoint = false;
 
     /**
      * Observability outputs (tracing, sampling, run record, wall-clock
@@ -220,6 +265,23 @@ class System : public cpu::CorePort
     SimResults run();
 
     /**
+     * Quiesce (pause cores, drain the event queue of everything but
+     * re-armable periodic events) and publish one checkpoint to
+     * `path`, then resume. Used by tests; run() drives the periodic
+     * epoch-boundary checkpoints itself.
+     *
+     * @return false when the drain failed to reach quiescence within
+     *         its deterministic step cap (no file is written).
+     */
+    bool checkpointNow(const std::string &path);
+
+    /**
+     * Epoch index of the checkpoint this run resumed from (0 = cold
+     * start). Valid after run() begins.
+     */
+    std::uint64_t resumedFromEpoch() const { return resumedFromEpoch_; }
+
+    /**
      * Deep-audit every component now (also runs periodically when
      * SystemConfig::auditEveryEvents > 0).
      * @return Violations recorded by this round (always 0 under
@@ -297,6 +359,51 @@ class System : public cpu::CorePort
     void resetMeasurement();
     SimResults collectResults(Tick measure_start, Tick measure_end);
 
+    /** @{ Checkpoint orchestration (system_ckpt.cc). */
+    /** True when checkpointing is configured on this run. */
+    bool ckptEnabled() const;
+
+    /** Hash of the behaviour-determining configuration. */
+    std::uint64_t configFingerprint() const;
+
+    /** All transient event-queue obligations drained? */
+    bool ckptQuiescent() const;
+
+    /**
+     * Step the event queue (cores paused) until ckptQuiescent() or a
+     * deterministic step cap; false when the cap was hit.
+     */
+    bool drainToQuiescence();
+
+    /** Serialize every section into `file` (requires quiescence). */
+    void saveCkptSections(ckpt::CkptWriter &file) const;
+
+    /** Restore every section; throws ckpt::CkptError on mismatch. */
+    void restoreCkptSections(const ckpt::CkptReader &reader);
+
+    /** Serialize + atomically publish one file (requires quiescence). */
+    void publishCheckpoint(std::uint64_t epoch_index,
+                           const std::string &path) const;
+
+    /** Non-empty = why `reader` cannot restore into this System. */
+    std::string ckptCompatError(const ckpt::CkptReader &reader) const;
+
+    /** Pause + drain + (maybe) publish the epoch file + unpause. */
+    void quiesceCheckpoint(std::uint64_t epoch_index);
+
+    /** Best-effort final checkpoint on timeout / interrupt. */
+    void emergencyCheckpoint();
+
+    /** runSlice with epoch-boundary quiesces interleaved. */
+    void runCkptSlice(Tick until);
+
+    /** Published path of the epoch-`index` checkpoint file. */
+    std::string checkpointPath(std::uint64_t epoch_index) const;
+
+    /** Restore the newest valid checkpoint; false = cold start. */
+    bool tryResume();
+    /** @} */
+
     SystemConfig config_;
     EventQueue queue_;
 
@@ -324,6 +431,11 @@ class System : public cpu::CorePort
     // Global fill (LLC MSHR) accounting.
     unsigned outstandingFills_ = 0;
 
+    // Writebacks accounted but still riding a scheduled event toward
+    // WritePath::queueWriteback (quiescence must wait them out: the
+    // event's capture is state no checkpoint section covers).
+    unsigned pendingWritebackEvents_ = 0;
+
     // Wall-clock deadline for run(), in obs::monotonicSeconds()
     // terms (wallTimeoutSeconds > 0).
     double runDeadline_ = 0.0;
@@ -334,6 +446,13 @@ class System : public cpu::CorePort
 
     // Measurement accumulators (reset after warmup).
     Measurement meas_;
+
+    // Checkpoint orchestration (config_.checkpointEveryEpochs > 0).
+    Tick ckptEpochTicks_ = 0;        ///< quiesce cadence (0 = off)
+    std::uint64_t nextEpochIndex_ = 1;
+    bool measuring_ = false;         ///< past the warmup reset
+    Tick measureStart_ = 0;          ///< queue tick of the reset
+    std::uint64_t resumedFromEpoch_ = 0; ///< 0 = cold start
 
     stats::Scalar *statFillRefusals_ = nullptr;
     stats::Scalar *statAuditRounds_ = nullptr;

@@ -112,6 +112,20 @@ class WritePath : public Auditable
         return !refreshOverflow_.empty();
     }
 
+    /**
+     * True when both staging queues are empty and no retry event is
+     * in flight — the write path contributes nothing to the event
+     * queue and a checkpoint drain may stop stepping on its account.
+     * There is no WritePath checkpoint section: at a quiescent point
+     * the only state is this emptiness (stats travel in the stats
+     * section).
+     */
+    bool quiescent() const
+    {
+        return writebacks_.empty() && refreshOverflow_.empty() &&
+               !refreshRetryPending_;
+    }
+
     // ---- Auditable ----
     std::string_view auditName() const override { return "writePath"; }
 

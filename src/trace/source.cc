@@ -143,6 +143,7 @@ TraceSource::fastForwardTail(std::uint64_t consumed)
 TraceRecord
 TraceSource::next()
 {
+    ++consumed_;
     if (gen_)
         return gen_->next();
     if (pos_ < replayEnd_) {
@@ -151,6 +152,22 @@ TraceSource::next()
     }
     fastForwardTail(pos_);
     return gen_->next();
+}
+
+void
+TraceSource::seek(std::uint64_t consumed)
+{
+    RRM_ASSERT(consumed_ == 0,
+               "TraceSource::seek() on a stream already in use");
+    if (gen_) {
+        for (std::uint64_t i = 0; i < consumed; ++i)
+            gen_->next();
+    } else if (consumed <= replayEnd_) {
+        pos_ = consumed;
+    } else {
+        fastForwardTail(consumed);
+    }
+    consumed_ = consumed;
 }
 
 } // namespace rrm::trace

@@ -163,6 +163,19 @@ class TraceSource
     /** Next record of the stream. */
     TraceRecord next();
 
+    /** Records served so far (the checkpointed replay cursor). */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /**
+     * Checkpoint restore: position the stream as if `consumed`
+     * records had already been served. Replay backends simply move
+     * their cursor; Generate mode (and a replay prefix shorter than
+     * `consumed`) fast-forwards a fresh generator over the served
+     * records, the same O(N) mechanism as fastForwardTail. Only legal
+     * on a freshly constructed source.
+     */
+    void seek(std::uint64_t consumed);
+
     const BenchmarkProfile &profile() const { return *profile_; }
     std::uint64_t footprintBytes() const { return footprint_; }
     double meanGapInstructions() const { return meanGap_; }
@@ -188,6 +201,7 @@ class TraceSource
     std::shared_ptr<TracePackReader> pack_;
     std::uint64_t pos_ = 0;      ///< next replay index
     std::uint64_t replayEnd_ = 0; ///< replay records available
+    std::uint64_t consumed_ = 0; ///< records served via next()
 };
 
 } // namespace rrm::trace

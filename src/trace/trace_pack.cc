@@ -151,6 +151,33 @@ TracePackReader::TracePackReader(const std::string &path)
               " bytes, header needs ", TracePackHeader::sizeBytes, ")");
     }
 
+    // Decode the header and validate the promised record count against
+    // the real file size BEFORE mapping: a pack truncated by a crashed
+    // or killed writer is rejected with an exact diagnostic instead of
+    // faulting later when the reader walks off the end of the mapping.
+    unsigned char headerBuf[TracePackHeader::sizeBytes];
+    std::size_t got = 0;
+    while (got < sizeof(headerBuf)) {
+        const ssize_t n = ::pread(fd, headerBuf + got,
+                                  sizeof(headerBuf) - got,
+                                  static_cast<off_t>(got));
+        if (n <= 0) {
+            ::close(fd);
+            fatal("cannot read trace pack header from '", path, "'");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    header_ = decodeHeader(headerBuf, path_);
+    const std::size_t need =
+        TracePackHeader::sizeBytes +
+        header_.recordCount * sizeof(PackedTraceRecord);
+    if (fileLen < need) {
+        ::close(fd);
+        fatal("trace pack '", path, "' truncated: header promises ",
+              header_.recordCount, " records (", need,
+              " bytes) but the file has only ", fileLen);
+    }
+
     void *map = ::mmap(nullptr, fileLen, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map != MAP_FAILED) {
         mapBase_ = static_cast<const unsigned char *>(map);
@@ -159,7 +186,7 @@ TracePackReader::TracePackReader(const std::string &path)
         // mmap can fail on exotic filesystems; fall back to reading
         // the whole file into memory.
         fallback_ = std::make_unique<unsigned char[]>(fileLen);
-        std::size_t got = 0;
+        got = 0;
         while (got < fileLen) {
             const ssize_t n =
                 ::read(fd, fallback_.get() + got, fileLen - got);
@@ -173,15 +200,6 @@ TracePackReader::TracePackReader(const std::string &path)
     }
     ::close(fd);
 
-    header_ = decodeHeader(mapBase_, path_);
-    const std::size_t need =
-        TracePackHeader::sizeBytes +
-        header_.recordCount * sizeof(PackedTraceRecord);
-    if (fileLen < need) {
-        fatal("trace pack '", path, "' truncated: header promises ",
-              header_.recordCount, " records (", need,
-              " bytes) but the file has ", fileLen);
-    }
     records_ = mapBase_ + TracePackHeader::sizeBytes;
 }
 

@@ -135,8 +135,20 @@ TEST(TracePack, TruncatedFileIsFatal)
         writeTracePack(path, std::string(profile.name), 1, gen, 1000);
     }
     // Chop the file short of the record count the header promises.
+    // The reader must reject it before mapping, naming the file and
+    // the expected/actual sizes.
     ASSERT_EQ(truncate(path.c_str(), 64 + 16 * 10), 0);
-    EXPECT_THROW(TracePackReader{path}, FatalError);
+    try {
+        TracePackReader reader(path);
+        FAIL() << "truncated pack was accepted";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("1000 records"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(64 + 16 * 10)),
+                  std::string::npos)
+            << msg;
+    }
     std::remove(path.c_str());
 }
 

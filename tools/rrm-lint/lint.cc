@@ -798,10 +798,10 @@ Config
 defaultConfig()
 {
     Config c;
-    c.layerOrder = {"common", "stats",   "sim",  "obs",
-                    "pcm",    "trace",   "cache", "cpu",
-                    "memctrl", "rrm",    "policy", "fault",
-                    "system", "run"};
+    c.layerOrder = {"common", "ckpt",    "stats", "sim",
+                    "obs",    "pcm",     "trace", "cache",
+                    "cpu",    "memctrl", "rrm",   "policy",
+                    "fault",  "system",  "run"};
     c.traceCategories = {"RrmLifecycle", "Refresh",  "Queue",
                          "StartGap",     "Sampler",  "Fault"};
     c.schemeFactoryFiles = {"src/system/scheme.hh",
@@ -875,9 +875,9 @@ ruleCatalog()
          "no std::function in src/sim or src/memctrl; hot-path "
          "callbacks use rrm::InlineFunction"},
         {"layer-upward-include",
-         "src/ modules only include lower layers (common < stats < sim "
-         "< obs < pcm < trace < cache < cpu < memctrl < rrm < policy < "
-         "fault < system < run)"},
+         "src/ modules only include lower layers (common < ckpt < "
+         "stats < sim < obs < pcm < trace < cache < cpu < memctrl < "
+         "rrm < policy < fault < system < run)"},
         {"layer-scheme-dispatch",
          "SchemeKind is only named inside the policy factory"},
         {"lint-missing-reason",

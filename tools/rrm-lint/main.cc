@@ -13,11 +13,12 @@
  */
 
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
 #include "lint.hh"
 
 namespace
@@ -100,12 +101,15 @@ main(int argc, char **argv)
     }
 
     if (!jsonOut.empty()) {
-        std::ofstream out(jsonOut);
-        if (!out) {
-            std::cerr << "rrm-lint: cannot write " << jsonOut << "\n";
+        try {
+            rrm::AtomicFile out(jsonOut);
+            out.stream() << rrm::lint::diagnosticsToJson(diags);
+            out.commit();
+        } catch (const rrm::FatalError &e) {
+            std::cerr << "rrm-lint: cannot write " << jsonOut << ": "
+                      << e.what() << "\n";
             return 2;
         }
-        out << rrm::lint::diagnosticsToJson(diags);
     }
 
     return sum.unsuppressed > 0 ? 1 : 0;
