@@ -65,6 +65,23 @@ benchFlagTable()
              while (std::getline(ss, name, ','))
                  o.workloads.push_back(name);
          }},
+        {"--mix", "SPEC",
+         "N-core mix spec, e.g. zeusmp,lbm,lbm,milc:2 (repeatable)",
+         [](BenchOptions &o, const std::string &v) {
+             o.mixes.push_back(v);
+         }},
+        {"--tenants", "IDS",
+         "tenant id per core of the matching --mix, e.g. 0,0,1,1",
+         [](BenchOptions &o, const std::string &v) {
+             o.tenants.push_back(v);
+         }},
+        {"--schemes", "a,b,c", "subset of scheme names",
+         [](BenchOptions &o, const std::string &v) {
+             std::stringstream ss(v);
+             std::string name;
+             while (std::getline(ss, name, ','))
+                 o.schemes.push_back(name);
+         }},
         {"--jobs", "N",
          "worker threads (0 = hardware concurrency, 1 = serial)",
          [](BenchOptions &o, const std::string &v) {
@@ -257,11 +274,32 @@ BenchOptions::parse(int argc, char **argv, const BenchOptions &defaults)
 std::vector<trace::Workload>
 BenchOptions::selectedWorkloads() const
 {
-    if (workloads.empty())
-        return trace::standardWorkloads();
+    if (tenants.size() > mixes.size()) {
+        fatal("--tenants given ", tenants.size(),
+              " time(s) but --mix only ", mixes.size(),
+              " time(s); each --tenants pairs with one --mix");
+    }
     std::vector<trace::Workload> out;
     for (const auto &name : workloads)
         out.push_back(trace::workloadFromName(name));
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        out.push_back(trace::workloadFromSpec(
+            mixes[i], i < tenants.size() ? tenants[i] : ""));
+    }
+    if (out.empty())
+        return trace::standardWorkloads();
+    return out;
+}
+
+std::vector<sys::Scheme>
+BenchOptions::selectedSchemes(
+    const std::vector<sys::Scheme> &defaults) const
+{
+    if (schemes.empty())
+        return defaults;
+    std::vector<sys::Scheme> out;
+    for (const auto &name : schemes)
+        out.push_back(sys::parseScheme(name));
     return out;
 }
 
@@ -385,6 +423,10 @@ makeConfig(const trace::Workload &workload, const sys::Scheme &scheme,
 {
     sys::SystemConfig cfg;
     cfg.workload = workload;
+    // Size the private-cache tier to the mix: 1-core solo companions
+    // and 8-core mixes get exactly as many cores as the workload
+    // names (canned 4-core workloads keep the default hierarchy).
+    cfg.hierarchy.numCores = static_cast<unsigned>(workload.numCores());
     cfg.scheme = scheme;
     cfg.windowSeconds = opts.windowSeconds;
     cfg.timeScale = opts.timeScale;

@@ -39,6 +39,21 @@ struct BenchOptions
     /** Workload subset; empty = the full Table VII set. */
     std::vector<std::string> workloads;
 
+    /**
+     * @{ Ad-hoc N-core mixes (--mix, repeatable), each optionally
+     * paired by index with a tenant grouping (--tenants). A mix spec
+     * follows the trace::parseWorkloadSpec grammar
+     * ("zeusmp,lbm,lbm,milc:2"); a tenant spec is one id per core
+     * ("0,0,1,1"). Mixes are appended after the named workloads (or
+     * replace the standard set when --workloads is absent).
+     */
+    std::vector<std::string> mixes;
+    std::vector<std::string> tenants;
+    /** @} */
+
+    /** Scheme subset by name (--schemes); empty = bench default. */
+    std::vector<std::string> schemes;
+
     /** Print per-run progress to stderr. */
     bool verbose = false;
 
@@ -125,8 +140,15 @@ struct BenchOptions
     static BenchOptions parse(int argc, char **argv,
                               const BenchOptions &defaults);
 
-    /** Workloads selected by the options. */
+    /** Workloads selected by the options (named + --mix specs). */
     std::vector<trace::Workload> selectedWorkloads() const;
+
+    /**
+     * Schemes selected by --schemes (parsed via parseScheme), or
+     * `defaults` when the flag was not given.
+     */
+    std::vector<sys::Scheme>
+    selectedSchemes(const std::vector<sys::Scheme> &defaults) const;
 
     /** Runner policy from these options (jobs, fail-fast, verbose). */
     run::RunnerOptions runnerOptions() const;

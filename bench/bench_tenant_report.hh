@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reporting helpers of the multi-tenant sweep bench: a thread-safe
+ * solo-IPC baseline table fed by RunPlan postRun hooks, fairness
+ * computation of mixed runs against those baselines, the
+ * BENCH_tenant.json writer, and the stdout fairness table.
+ */
+
+#ifndef RRM_BENCH_BENCH_TENANT_REPORT_HH
+#define RRM_BENCH_BENCH_TENANT_REPORT_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "system/fairness.hh"
+
+namespace rrm::bench
+{
+
+/**
+ * Solo-run IPC baselines keyed by (benchmark, scheme) name. The
+ * table is filled from RunPlan postRun hooks, which fire on worker
+ * threads — hence the mutex. The contents are independent of
+ * execution order, so everything derived from a fully-populated
+ * table is byte-identical across --jobs values.
+ */
+class SoloIpcTable
+{
+  public:
+    /** Record the solo IPC of one (benchmark, scheme) companion run. */
+    void record(const std::string &benchmark, const std::string &scheme,
+                double ipc);
+
+    /** Solo IPC of (benchmark, scheme); fatal() if never recorded. */
+    double lookup(const std::string &benchmark,
+                  const std::string &scheme) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::pair<std::string, std::string>, double> ipc_;
+};
+
+/** Fairness of one (mix, scheme) cell of the sweep. */
+struct TenantSweepRow
+{
+    std::string workload;
+    std::string scheme;
+    sys::FairnessReport fairness;
+};
+
+/**
+ * Fairness metrics of one mixed run: each core's solo baseline is the
+ * table entry of (its benchmark, the run's scheme).
+ */
+sys::FairnessReport fairnessOf(const trace::Workload &workload,
+                               const sys::SimResults &mixed,
+                               const std::string &scheme,
+                               const SoloIpcTable &solo);
+
+/** Print the per-tenant fairness table of the whole sweep. */
+void printFairnessTable(const std::vector<TenantSweepRow> &rows);
+
+/**
+ * writeBenchReport() extended with the tenant sweep's extras: a
+ * "soloRuns" array (the 1-core companion results, plan order) and a
+ * "fairness" array (one TenantSweepRow per mixed run, matrix order).
+ * Execution details stay excluded, so the report is byte-identical
+ * across --jobs values.
+ */
+void writeTenantBenchReport(
+    const std::string &path, const std::string &bench_name,
+    const BenchOptions &opts,
+    const std::vector<trace::Workload> &workloads,
+    const std::vector<sys::Scheme> &schemes,
+    const std::vector<std::vector<sys::SimResults>> &results,
+    const std::vector<sys::SimResults> &solo_results,
+    const std::vector<TenantSweepRow> &fairness);
+
+} // namespace rrm::bench
+
+#endif // RRM_BENCH_BENCH_TENANT_REPORT_HH

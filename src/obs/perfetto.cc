@@ -48,6 +48,18 @@ isQueueCounter(const char *name)
            std::strcmp(name, "refreshEnq") == 0;
 }
 
+bool
+isCoreProgress(const char *name)
+{
+    return std::strcmp(name, "coreProgress") == 0;
+}
+
+bool
+isTenantRefreshQ(const char *name)
+{
+    return std::strcmp(name, "tenantRefreshQ") == 0;
+}
+
 } // namespace
 
 PerfettoTraceWriter::PerfettoTraceWriter(std::ostream &os) : os_(os)
@@ -161,6 +173,36 @@ PerfettoTraceWriter::write(const TraceEvent &ev)
                 os_ << '"' << jsonEscape(key)
                     << "\":" << jsonNumber(f->value);
             }
+        }
+        os_ << "}}";
+        return;
+    }
+
+    if (ev.category == TraceCategory::Queue && isCoreProgress(name)) {
+        // Instruction-progress counter series, one track per core.
+        const TraceEvent::Field *core = findField(ev, "core");
+        const int c = core ? static_cast<int>(core->value) : 0;
+        const std::string counter =
+            "core" + std::to_string(c) + " progress";
+        beginEvent(counter.c_str(), cat, 'C', ts);
+        os_ << ",\"args\":{";
+        if (const TraceEvent::Field *f = findField(ev, "instructions")) {
+            os_ << "\"instructions\":" << jsonNumber(f->value);
+        }
+        os_ << "}}";
+        return;
+    }
+
+    if (ev.category == TraceCategory::Queue && isTenantRefreshQ(name)) {
+        // Outstanding-refresh counter series, one track per tenant.
+        const TraceEvent::Field *tf = findField(ev, "tenant");
+        const int t = tf ? static_cast<int>(tf->value) : 0;
+        const std::string counter =
+            "tenant" + std::to_string(t) + " refreshQ";
+        beginEvent(counter.c_str(), cat, 'C', ts);
+        os_ << ",\"args\":{";
+        if (const TraceEvent::Field *f = findField(ev, "refreshQ")) {
+            os_ << "\"refreshQ\":" << jsonNumber(f->value);
         }
         os_ << "}}";
         return;

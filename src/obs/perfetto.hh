@@ -12,6 +12,10 @@
  *    track per channel;
  *  - queue pressure: "readEnq" / "writeEnq" / "refreshEnq" events
  *    become counter ("C") series per channel;
+ *  - core progress: "coreProgress" events become one instruction
+ *    counter ("C") series per core, and "tenantRefreshQ" events one
+ *    outstanding-refresh counter series per tenant (both emitted on
+ *    the sampling cadence by the System's sample hook);
  *  - decay epochs: consecutive sampler "sample" events bound "epoch"
  *    slices on a dedicated track (one slice per settled decay epoch);
  *  - everything else (RRM lifecycle, refresh drains, fault retries,

@@ -79,6 +79,8 @@ Sampler::sampleNow()
     RRM_TRACE(traceSink_, queue_.now(), TraceCategory::Sampler,
               "sample", RRM_TF("row", rows_.size() - 1),
               RRM_TF("columns", columns_.size()));
+    if (sampleHook_)
+        sampleHook_();
 }
 
 void

@@ -84,6 +84,17 @@ class Sampler
     /** Report each sample as a trace event (category Sampler). */
     void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
 
+    /**
+     * Hook invoked at the end of every sample (periodic or manual),
+     * after the row is collected and the Sampler-category trace event
+     * is emitted. The System uses it to piggy-back per-core progress
+     * and per-tenant queue counters onto the sampling cadence.
+     */
+    void setSampleHook(std::function<void()> hook)
+    {
+        sampleHook_ = std::move(hook);
+    }
+
     Tick interval() const { return interval_; }
     const std::vector<std::string> &columnNames() const
     {
@@ -115,6 +126,7 @@ class Sampler
     std::vector<Row> rows_;
     std::unique_ptr<PeriodicTask> task_;
     TraceSink *traceSink_ = nullptr;
+    std::function<void()> sampleHook_;
 };
 
 } // namespace rrm::obs

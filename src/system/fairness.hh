@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-tenant fairness metrics (DESIGN.md section 17).
+ *
+ * The raw inputs are per-core IPCs from a *mixed* run and from each
+ * core's *solo* companion run (the same benchmark, scheme, and seed
+ * on a 1-core system — RunPlan postRun hooks collect them). From
+ * those the meter derives the standard multi-programmed metrics:
+ *
+ *   slowdown_c        = soloIpc_c / mixedIpc_c           (>= 1 ideal)
+ *   weightedSpeedup   = sum_c mixedIpc_c / soloIpc_c
+ *   tenant slowdown   = arithmetic mean of its cores' slowdowns
+ *   unfairness        = max tenant slowdown / min tenant slowdown
+ *
+ * Cores whose solo (or mixed) IPC is zero are skipped in the ratios
+ * rather than poisoning the aggregates with infinities.
+ */
+
+#ifndef RRM_SYSTEM_FAIRNESS_HH
+#define RRM_SYSTEM_FAIRNESS_HH
+
+#include <vector>
+
+namespace rrm::sys
+{
+
+/** Fairness metrics of one mixed run, system-wide and per tenant. */
+struct FairnessReport
+{
+    struct Tenant
+    {
+        unsigned tenant = 0;
+        std::vector<unsigned> cores; ///< core ids owned by the tenant
+        double ipc = 0.0;            ///< sum of the tenant's mixed IPCs
+        double slowdown = 0.0;       ///< mean solo/mixed over its cores
+        double weightedSpeedup = 0.0; ///< sum mixed/solo over its cores
+    };
+
+    std::vector<Tenant> tenants; ///< one entry per tenant, id order
+
+    double weightedSpeedup = 0.0; ///< sum over all cores
+    double unfairness = 0.0;      ///< max / min tenant slowdown
+};
+
+/**
+ * Compute the fairness metrics of one mixed run.
+ *
+ * @param mixed_ipc Per-core IPC of the mixed run.
+ * @param tenant_of Tenant id per core; empty = all cores tenant 0.
+ * @param solo_ipc  Per-core IPC of each core's solo companion run
+ *                  (same indexing as mixed_ipc).
+ */
+FairnessReport computeFairness(const std::vector<double> &mixed_ipc,
+                               const std::vector<unsigned> &tenant_of,
+                               const std::vector<double> &solo_ipc);
+
+} // namespace rrm::sys
+
+#endif // RRM_SYSTEM_FAIRNESS_HH

@@ -9,15 +9,38 @@
 #define RRM_SYSTEM_MEASUREMENT_HH
 
 #include <cstdint>
+#include <vector>
 
 namespace rrm::sys
 {
 
 /**
+ * Per-tenant slice of the window accumulators: the operation counts
+ * attributable to one tenant's cores/address slices. Energies stay
+ * global — the power model is array-wide.
+ */
+struct TenantCounters
+{
+    std::uint64_t memReads = 0;
+    std::uint64_t fastWrites = 0;
+    std::uint64_t slowWrites = 0;
+    std::uint64_t fastRefreshes = 0;
+    std::uint64_t slowRefreshes = 0;
+
+    std::uint64_t demandWrites() const { return fastWrites + slowWrites; }
+
+    std::uint64_t refreshWrites() const
+    {
+        return fastRefreshes + slowRefreshes;
+    }
+};
+
+/**
  * Everything the measurement window accumulates outside the stats
- * tree: energies (Joules) and the raw operation counts the lifetime
- * and power models consume. reset() starts a fresh window (called
- * once, after warmup).
+ * tree: energies (Joules), the raw operation counts the lifetime
+ * and power models consume, and — on multi-tenant workloads — the
+ * per-tenant split of those counts. reset() starts a fresh window
+ * (called once, after warmup) and keeps the tenant layout.
  */
 struct Measurement
 {
@@ -31,6 +54,14 @@ struct Measurement
     std::uint64_t fastRefreshes = 0;
     std::uint64_t slowRefreshes = 0;
 
+    /**
+     * One entry per tenant on multi-tenant workloads; empty on
+     * single-tenant runs, where the global fields above are the only
+     * accumulators touched (keeping the hot path and every output
+     * byte-identical to the pre-tenant simulator).
+     */
+    std::vector<TenantCounters> tenants;
+
     std::uint64_t demandWrites() const { return fastWrites + slowWrites; }
 
     std::uint64_t refreshWrites() const
@@ -38,7 +69,13 @@ struct Measurement
         return fastRefreshes + slowRefreshes;
     }
 
-    void reset() { *this = Measurement{}; }
+    void
+    reset()
+    {
+        const std::size_t num_tenants = tenants.size();
+        *this = Measurement{};
+        tenants.assign(num_tenants, TenantCounters{});
+    }
 };
 
 } // namespace rrm::sys

@@ -55,6 +55,29 @@ SimResults::toJson(obs::JsonWriter &json) const
     json.field("globalRefreshPower", globalRefreshPower);
     json.field("totalPower", totalPower());
 
+    if (!tenants.empty()) {
+        json.key("tenants");
+        json.beginArray();
+        for (const TenantResults &t : tenants) {
+            json.beginObject();
+            json.field("tenant", t.tenant);
+            json.key("cores");
+            json.beginArray();
+            for (const unsigned c : t.cores)
+                json.value(c);
+            json.endArray();
+            json.field("instructions", t.instructions);
+            json.field("ipc", t.ipc);
+            json.field("memReads", t.memReads);
+            json.field("fastWrites", t.fastWrites);
+            json.field("slowWrites", t.slowWrites);
+            json.field("fastRefreshes", t.fastRefreshes);
+            json.field("slowRefreshes", t.slowRefreshes);
+            json.endObject();
+        }
+        json.endArray();
+    }
+
     if (fault.enabled) {
         json.key("fault");
         json.beginObject();

@@ -9,9 +9,9 @@
 #ifndef RRM_SYSTEM_RESULTS_HH
 #define RRM_SYSTEM_RESULTS_HH
 
-#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/json.hh"
 
@@ -37,10 +37,10 @@ struct SimResults
      */
     std::uint64_t eventsExecuted = 0;
 
-    // ---- Performance ----
-    std::array<std::uint64_t, 4> instructions{};
+    // ---- Performance (one entry per core of the workload) ----
+    std::vector<std::uint64_t> instructions;
     std::uint64_t totalInstructions = 0;
-    std::array<double, 4> ipcPerCore{};
+    std::vector<double> ipcPerCore;
     double aggregateIpc = 0.0; ///< sum of per-core IPC
 
     // ---- Cache behaviour ----
@@ -103,6 +103,27 @@ struct SimResults
         std::uint64_t startGapMoves = 0;
     };
     FaultResults fault;
+
+    // ---- Tenants (populated only on multi-tenant workloads) ----
+    struct TenantResults
+    {
+        unsigned tenant = 0;
+        std::vector<unsigned> cores; ///< core ids owned by the tenant
+        std::uint64_t instructions = 0;
+        double ipc = 0.0; ///< sum of the tenant's per-core IPC
+        std::uint64_t memReads = 0;
+        std::uint64_t fastWrites = 0;
+        std::uint64_t slowWrites = 0;
+        std::uint64_t fastRefreshes = 0;
+        std::uint64_t slowRefreshes = 0;
+    };
+
+    /**
+     * One entry per tenant on multi-tenant workloads; empty (and
+     * absent from the JSON) on single-tenant runs so existing run
+     * records stay byte-identical.
+     */
+    std::vector<TenantResults> tenants;
 
     // ---- RRM behaviour ----
     std::uint64_t rrmRegistrations = 0;

@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "policy/adaptive_rrm_policy.hh"
 #include "policy/static_policy.hh"
+#include "policy/tenant_qos_policy.hh"
 #include "rrm/rrm_config.hh"
 
 namespace rrm::sys
@@ -45,6 +46,8 @@ Scheme::name() const
         return "RRM";
       case SchemeKind::AdaptiveRrm:
         return "Adaptive-RRM";
+      case SchemeKind::RrmQos:
+        return "RRM-QoS";
       case SchemeKind::Static:
         break;
     }
@@ -55,6 +58,8 @@ Scheme::name() const
 std::unique_ptr<policy::WritePolicy>
 Scheme::makePolicy(const monitor::RrmConfig &rrm,
                    const policy::AdaptiveRrmConfig &adaptive,
+                   const policy::TenantQosConfig &qos,
+                   const policy::TenantLayout &layout,
                    EventQueue &queue) const
 {
     switch (kind) {
@@ -65,6 +70,10 @@ Scheme::makePolicy(const monitor::RrmConfig &rrm,
       case SchemeKind::AdaptiveRrm:
         return std::make_unique<policy::AdaptiveRrmPolicy>(rrm, adaptive,
                                                            queue);
+      case SchemeKind::RrmQos:
+        return std::make_unique<policy::TenantQosPolicy>(
+            std::make_unique<policy::RrmPolicy>(rrm, queue), qos, layout,
+            queue);
     }
     fatal("scheme has corrupt kind ", static_cast<int>(kind));
 }
@@ -72,6 +81,7 @@ Scheme::makePolicy(const monitor::RrmConfig &rrm,
 void
 Scheme::collectConfigErrors(const monitor::RrmConfig &rrm,
                             const policy::AdaptiveRrmConfig &adaptive,
+                            const policy::TenantQosConfig &qos,
                             double time_scale,
                             std::vector<std::string> &errors) const
 {
@@ -81,9 +91,15 @@ Scheme::collectConfigErrors(const monitor::RrmConfig &rrm,
         effective.collectErrors(errors);
         if (kind == SchemeKind::AdaptiveRrm)
             adaptive.collectErrors(errors);
+        if (kind == SchemeKind::RrmQos)
+            qos.collectErrors(errors);
     } else if (rrm.isCustomized()) {
         errors.push_back("RRM configured but the scheme is " + name() +
                          " (RRM settings would be silently ignored)");
+    }
+    if (kind != SchemeKind::RrmQos && qos.isCustomized()) {
+        errors.push_back("QoS configured but the scheme is " + name() +
+                         " (QoS settings would be silently ignored)");
     }
 }
 
@@ -125,6 +141,7 @@ allSchemes()
 {
     auto v = allPaperSchemes();
     v.push_back(Scheme::adaptiveRrmScheme());
+    v.push_back(Scheme::rrmQosScheme());
     return v;
 }
 

@@ -37,6 +37,8 @@ namespace policy
 {
 class WritePolicy;
 struct AdaptiveRrmConfig;
+struct TenantQosConfig;
+struct TenantLayout;
 } // namespace policy
 } // namespace rrm
 
@@ -49,6 +51,7 @@ enum class SchemeKind : std::uint8_t
     Static = 0,  ///< Static-N-SETs: one global write mode
     Rrm,         ///< Region Retention Monitor hybrid
     AdaptiveRrm, ///< RRM with feedback-driven hot_threshold
+    RrmQos,      ///< RRM behind a tenant-quota QoS decorator
 };
 
 /** One evaluated scheme. */
@@ -87,6 +90,15 @@ struct Scheme
         return s;
     }
 
+    /** The tenant-aware QoS scheme (RRM + per-tenant quotas). */
+    static Scheme
+    rrmQosScheme()
+    {
+        Scheme s;
+        s.kind = SchemeKind::RrmQos;
+        return s;
+    }
+
     /** True for the schemes whose policy owns a RegionMonitor. */
     bool usesMonitor() const { return kind != SchemeKind::Static; }
 
@@ -110,11 +122,15 @@ struct Scheme
      *
      * @param rrm      RRM configuration (monitor-backed schemes).
      * @param adaptive Feedback-law knobs (Adaptive-RRM only).
+     * @param qos      Tenant-quota knobs (RRM-QoS only).
+     * @param layout   Tenant/address layout (RRM-QoS only).
      * @param queue    Event queue for the policy's periodic tasks.
      */
     std::unique_ptr<policy::WritePolicy>
     makePolicy(const monitor::RrmConfig &rrm,
                const policy::AdaptiveRrmConfig &adaptive,
+               const policy::TenantQosConfig &qos,
+               const policy::TenantLayout &layout,
                EventQueue &queue) const;
 
     /**
@@ -125,6 +141,7 @@ struct Scheme
      */
     void collectConfigErrors(const monitor::RrmConfig &rrm,
                              const policy::AdaptiveRrmConfig &adaptive,
+                             const policy::TenantQosConfig &qos,
                              double time_scale,
                              std::vector<std::string> &errors) const;
 };
@@ -149,7 +166,7 @@ Scheme parseScheme(const std::string &name);
 /** All six schemes of Table VI, Static-7 first, RRM last. */
 std::vector<Scheme> allPaperSchemes();
 
-/** Every scheme: Table VI order, then Adaptive-RRM. */
+/** Every scheme: Table VI order, then Adaptive-RRM, then RRM-QoS. */
 std::vector<Scheme> allSchemes();
 
 /** The five static schemes, Static-7 first. */

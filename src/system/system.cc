@@ -26,11 +26,15 @@ SystemConfig::validate() const
     std::vector<std::string> errors;
     if (workload.name.empty())
         errors.push_back("system config has no workload");
-    if (hierarchy.numCores != trace::workloadCores) {
-        errors.push_back("hierarchy must have " +
-                         std::to_string(trace::workloadCores) +
-                         " cores");
+    if (workload.perCore.empty()) {
+        errors.push_back("workload selects zero cores");
+    } else if (hierarchy.numCores != workload.numCores()) {
+        errors.push_back("hierarchy has " +
+                         std::to_string(hierarchy.numCores) +
+                         " cores but the workload names " +
+                         std::to_string(workload.numCores()));
     }
+    trace::collectTenantErrors(workload, errors);
     if (timeScale < 1.0)
         errors.push_back("time scale must be >= 1");
     if (windowSeconds <= 0.0)
@@ -38,7 +42,7 @@ SystemConfig::validate() const
     if (warmupFraction < 0.0 || warmupFraction >= 1.0)
         errors.push_back("warmup fraction must be in [0, 1)");
 
-    scheme.collectConfigErrors(rrm, adaptive, timeScale, errors);
+    scheme.collectConfigErrors(rrm, adaptive, qos, timeScale, errors);
 
     fault.collectErrors(errors, memory.refreshQueueCap);
     if (wallTimeoutSeconds < 0.0)
@@ -59,9 +63,12 @@ SystemConfig::validate() const
 
     if (!customProfiles.empty() &&
         customProfiles.size() != hierarchy.numCores) {
-        errors.push_back("customProfiles must supply one profile per core");
-    } else if (!workload.name.empty() &&
-               hierarchy.numCores == trace::workloadCores &&
+        errors.push_back("customProfiles supplies " +
+                         std::to_string(customProfiles.size()) +
+                         " profiles but hierarchy.numCores is " +
+                         std::to_string(hierarchy.numCores));
+    } else if (!workload.perCore.empty() &&
+               hierarchy.numCores == workload.numCores() &&
                hierarchy.numCores > 0) {
         const std::uint64_t slice =
             memory.memoryBytes / hierarchy.numCores;
@@ -130,6 +137,12 @@ System::System(SystemConfig config)
                     faultMgr_->onRefreshCompleted(req.addr, req.mode,
                                                   when);
                 }
+                if (!tenantRefreshOutstanding_.empty()) {
+                    auto &n = tenantRefreshOutstanding_
+                        [tenantLayout_.tenantOfAddr(req.addr)];
+                    if (n > 0)
+                        --n;
+                }
                 writePath_->drainRefreshOverflow();
             } else if (req.kind == memctrl::ReqKind::Write &&
                        faultMgr_) {
@@ -137,8 +150,19 @@ System::System(SystemConfig config)
             }
         });
 
-    policy_ =
-        config_.scheme.makePolicy(config_.rrm, config_.adaptive, queue_);
+    tenantLayout_.tenantOf = config_.workload.tenantOf;
+    tenantLayout_.coreSliceBytes =
+        config_.memory.memoryBytes / config_.hierarchy.numCores;
+    if (config_.workload.multiTenant()) {
+        meas_.tenants.assign(config_.workload.numTenants(),
+                             TenantCounters{});
+        tenantRefreshOutstanding_.assign(config_.workload.numTenants(),
+                                         0);
+    }
+
+    policy_ = config_.scheme.makePolicy(config_.rrm, config_.adaptive,
+                                        config_.qos, tenantLayout_,
+                                        queue_);
     policy_->setRefreshCallback(
         [this](const monitor::RefreshRequest &req) {
             onPolicyRefresh(req);
@@ -190,6 +214,51 @@ System::System(SystemConfig config)
     statAuditViolations_ = &g.addScalar(
         "auditViolations", "invariant violations found by audits");
     stats::registerCheckViolationStats(statRoot_);
+
+    if (!meas_.tenants.empty()) {
+        // Per-tenant window counters: formulas over the Measurement
+        // accumulators, so the hot path increments exactly one place.
+        stats::StatGroup &tg = statRoot_.addChild("tenant");
+        for (unsigned t = 0;
+             t < static_cast<unsigned>(meas_.tenants.size()); ++t) {
+            stats::StatGroup &gt = tg.addChild(std::to_string(t));
+            gt.addFormula("memReads", "memory reads by the tenant",
+                          [this, t] {
+                              return static_cast<double>(
+                                  meas_.tenants[t].memReads);
+                          });
+            gt.addFormula("fastWrites",
+                          "fast-mode demand writes by the tenant",
+                          [this, t] {
+                              return static_cast<double>(
+                                  meas_.tenants[t].fastWrites);
+                          });
+            gt.addFormula("slowWrites",
+                          "slow-mode demand writes by the tenant",
+                          [this, t] {
+                              return static_cast<double>(
+                                  meas_.tenants[t].slowWrites);
+                          });
+            gt.addFormula("fastRefreshes",
+                          "fast-mode refreshes in the tenant's slices",
+                          [this, t] {
+                              return static_cast<double>(
+                                  meas_.tenants[t].fastRefreshes);
+                          });
+            gt.addFormula("slowRefreshes",
+                          "slow-mode refreshes in the tenant's slices",
+                          [this, t] {
+                              return static_cast<double>(
+                                  meas_.tenants[t].slowRefreshes);
+                          });
+            gt.addFormula("refreshOutstanding",
+                          "timing-visible refreshes in flight",
+                          [this, t] {
+                              return static_cast<double>(
+                                  tenantRefreshOutstanding_[t]);
+                          });
+        }
+    }
 
     buildCores();
     setupObservability();
@@ -304,6 +373,33 @@ System::setupObservability()
             return faultMgr_->fallbackActive() ? 1.0 : 0.0;
         });
     }
+
+    if (traceSink_) {
+        // Piggy-back progress counters onto the sampling cadence: one
+        // instruction counter per core and — on multi-tenant runs —
+        // one outstanding-refresh counter per tenant. The Perfetto
+        // writer renders both as 'C' counter tracks.
+        sampler_->setSampleHook([this] {
+            for (unsigned c = 0;
+                 c < static_cast<unsigned>(cores_.size()); ++c) {
+                RRM_TRACE(traceSink_.get(), queue_.now(),
+                          obs::TraceCategory::Queue, "coreProgress",
+                          RRM_TF("core", c),
+                          RRM_TF("instructions",
+                                 cores_[c]->instructionsRetired()));
+            }
+            for (unsigned t = 0;
+                 t < static_cast<unsigned>(
+                         tenantRefreshOutstanding_.size());
+                 ++t) {
+                RRM_TRACE(traceSink_.get(), queue_.now(),
+                          obs::TraceCategory::Queue, "tenantRefreshQ",
+                          RRM_TF("tenant", t),
+                          RRM_TF("refreshQ",
+                                 tenantRefreshOutstanding_[t]));
+            }
+        });
+    }
 }
 
 void
@@ -390,10 +486,28 @@ System::tryEnqueueRead(unsigned core, Addr line)
     }
 }
 
+TenantCounters *
+System::tenantCountersForAddr(Addr addr)
+{
+    if (meas_.tenants.empty())
+        return nullptr;
+    return &meas_.tenants[tenantLayout_.tenantOfAddr(addr)];
+}
+
+TenantCounters *
+System::tenantCountersForCore(unsigned core)
+{
+    if (meas_.tenants.empty())
+        return nullptr;
+    return &meas_.tenants[config_.workload.tenantOfCore(core)];
+}
+
 void
 System::onReadComplete(unsigned core, Addr line)
 {
     ++meas_.memReads;
+    if (TenantCounters *tc = tenantCountersForCore(core))
+        ++tc->memReads;
     meas_.readEnergy += energy_.blockReadEnergy();
     cores_[core]->onFillComplete(line);
     RRM_ASSERT(outstandingFills_ > 0, "fill accounting underflow");
@@ -428,10 +542,16 @@ System::issueMemoryWrite(Addr addr, Tick when)
     }
     wear_.recordBlockWrite(phys, pcm::WearCause::DemandWrite);
     meas_.demandWriteEnergy += energy_.blockWriteEnergy(mode);
-    if (policy_->isFastMode(mode))
+    TenantCounters *tc = tenantCountersForAddr(addr);
+    if (policy_->isFastMode(mode)) {
         ++meas_.fastWrites;
-    else
+        if (tc)
+            ++tc->fastWrites;
+    } else {
         ++meas_.slowWrites;
+        if (tc)
+            ++tc->slowWrites;
+    }
     if (profiler_)
         profiler_->recordWrite(addr, when);
 
@@ -453,10 +573,16 @@ System::retryFaultedWrite(Addr addr, pcm::WriteMode mode)
     // mode; wear, energy and write counters accrue like any write.
     wear_.recordBlockWrite(addr, pcm::WearCause::DemandWrite);
     meas_.demandWriteEnergy += energy_.blockWriteEnergy(mode);
-    if (policy_->isFastMode(mode))
+    TenantCounters *tc = tenantCountersForAddr(addr);
+    if (policy_->isFastMode(mode)) {
         ++meas_.fastWrites;
-    else
+        if (tc)
+            ++tc->fastWrites;
+    } else {
         ++meas_.slowWrites;
+        if (tc)
+            ++tc->slowWrites;
+    }
     writePath_->queueWriteback(addr, mode);
 }
 
@@ -469,10 +595,16 @@ System::onPolicyRefresh(const monitor::RefreshRequest &req)
         faultMgr_ ? faultMgr_->translate(req.blockAddr) : req.blockAddr;
     wear_.recordBlockWrite(phys, pcm::WearCause::RrmRefresh);
     meas_.refreshEnergy += energy_.blockRefreshEnergy(req.mode);
-    if (policy_->isFastMode(req.mode))
+    TenantCounters *tc = tenantCountersForAddr(req.blockAddr);
+    if (policy_->isFastMode(req.mode)) {
         ++meas_.fastRefreshes;
-    else
+        if (tc)
+            ++tc->fastRefreshes;
+    } else {
         ++meas_.slowRefreshes;
+        if (tc)
+            ++tc->slowRefreshes;
+    }
 
     bool timing_visible = false;
     switch (config_.refreshTiming) {
@@ -496,6 +628,9 @@ System::onPolicyRefresh(const monitor::RefreshRequest &req)
 
     if (telemetry_)
         telemetry_->recordRefreshPressure(refreshPressure());
+    if (!tenantRefreshOutstanding_.empty()) {
+        ++tenantRefreshOutstanding_[tenantLayout_.tenantOfAddr(phys)];
+    }
     writePath_->submitRefresh(phys, req.mode);
 }
 
@@ -714,7 +849,7 @@ System::writeConfigJson(obs::JsonWriter &json) const
     json.field("workload", config_.workload.name);
     json.key("perCore");
     json.beginArray();
-    for (unsigned c = 0; c < trace::workloadCores; ++c) {
+    for (std::size_t c = 0; c < config_.workload.numCores(); ++c) {
         const auto &profile =
             config_.customProfiles.empty()
                 ? trace::benchmarkProfile(config_.workload.perCore[c])
@@ -722,6 +857,13 @@ System::writeConfigJson(obs::JsonWriter &json) const
         json.value(profile.name);
     }
     json.endArray();
+    if (config_.workload.multiTenant()) {
+        json.key("tenants");
+        json.beginArray();
+        for (std::size_t c = 0; c < config_.workload.numCores(); ++c)
+            json.value(config_.workload.tenantOfCore(c));
+        json.endArray();
+    }
     json.field("scheme", config_.scheme.name());
     json.field("timeScale", config_.timeScale);
     json.field("windowSeconds", config_.windowSeconds);
@@ -805,11 +947,35 @@ System::collectResults(Tick measure_start, Tick measure_end)
     const double window = ticksToSeconds(elapsed);
     r.windowSeconds = window;
 
+    r.instructions.assign(cores_.size(), 0);
+    r.ipcPerCore.assign(cores_.size(), 0.0);
     for (unsigned c = 0; c < cores_.size(); ++c) {
         r.instructions[c] = cores_[c]->instructionsRetired();
         r.totalInstructions += r.instructions[c];
         r.ipcPerCore[c] = cores_[c]->ipc(elapsed);
         r.aggregateIpc += r.ipcPerCore[c];
+    }
+
+    if (!meas_.tenants.empty()) {
+        r.tenants.resize(meas_.tenants.size());
+        for (unsigned t = 0;
+             t < static_cast<unsigned>(r.tenants.size()); ++t) {
+            SimResults::TenantResults &tr = r.tenants[t];
+            const TenantCounters &tc = meas_.tenants[t];
+            tr.tenant = t;
+            tr.memReads = tc.memReads;
+            tr.fastWrites = tc.fastWrites;
+            tr.slowWrites = tc.slowWrites;
+            tr.fastRefreshes = tc.fastRefreshes;
+            tr.slowRefreshes = tc.slowRefreshes;
+        }
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            SimResults::TenantResults &tr =
+                r.tenants[config_.workload.tenantOfCore(c)];
+            tr.cores.push_back(c);
+            tr.instructions += r.instructions[c];
+            tr.ipc += r.ipcPerCore[c];
+        }
     }
 
     if (const auto *misses = dynamic_cast<const stats::Scalar *>(

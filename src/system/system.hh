@@ -30,6 +30,7 @@
 #include "pcm/lifetime_model.hh"
 #include "pcm/wear_tracker.hh"
 #include "policy/adaptive_config.hh"
+#include "policy/tenant_qos_policy.hh"
 #include "policy/write_policy.hh"
 #include "sim/delay_queue.hh"
 #include "system/measurement.hh"
@@ -102,6 +103,9 @@ struct SystemConfig
 
     /** Feedback-law knobs; used only by the Adaptive-RRM scheme. */
     policy::AdaptiveRrmConfig adaptive;
+
+    /** Tenant-quota knobs; used only by the RRM-QoS scheme. */
+    policy::TenantQosConfig qos;
 
     /**
      * Retention-interval compression (DESIGN.md section 3). 50 with
@@ -355,6 +359,11 @@ class System : public cpu::CorePort
     void retryFaultedWrite(Addr addr, pcm::WriteMode mode);
     bool refreshPathSaturated() const;
     double refreshPressure() const;
+
+    /** @{ Per-tenant accounting; null on single-tenant workloads. */
+    TenantCounters *tenantCountersForAddr(Addr addr);
+    TenantCounters *tenantCountersForCore(unsigned core);
+    /** @} */
     void wakeCores();
     void resetMeasurement();
     SimResults collectResults(Tick measure_start, Tick measure_end);
@@ -446,6 +455,13 @@ class System : public cpu::CorePort
 
     // Measurement accumulators (reset after warmup).
     Measurement meas_;
+
+    // Tenant layout of the workload (tenantOf empty = one tenant).
+    policy::TenantLayout tenantLayout_;
+
+    // Per-tenant outstanding timing-visible refreshes; sized only on
+    // multi-tenant workloads (empty = no tenant accounting at all).
+    std::vector<std::uint64_t> tenantRefreshOutstanding_;
 
     // Checkpoint orchestration (config_.checkpointEveryEpochs > 0).
     Tick ckptEpochTicks_ = 0;        ///< quiesce cadence (0 = off)

@@ -170,6 +170,16 @@ System::saveCkptSections(ckpt::CkptWriter &file) const
         w.u64(meas_.slowWrites);
         w.u64(meas_.fastRefreshes);
         w.u64(meas_.slowRefreshes);
+        w.u32(static_cast<std::uint32_t>(meas_.tenants.size()));
+        for (const TenantCounters &tc : meas_.tenants) {
+            w.u64(tc.memReads);
+            w.u64(tc.fastWrites);
+            w.u64(tc.slowWrites);
+            w.u64(tc.fastRefreshes);
+            w.u64(tc.slowRefreshes);
+        }
+        for (const std::uint64_t n : tenantRefreshOutstanding_)
+            w.u64(n);
         file.section(secSystem, w);
     }
     {
@@ -349,6 +359,22 @@ System::restoreCkptSections(const ckpt::CkptReader &reader)
         meas_.slowWrites = r.u64();
         meas_.fastRefreshes = r.u64();
         meas_.slowRefreshes = r.u64();
+        const std::uint32_t num_tenants = r.u32();
+        if (num_tenants != meas_.tenants.size()) {
+            throw ckpt::CkptError(
+                "checkpoint has " + std::to_string(num_tenants) +
+                " tenants but this config has " +
+                std::to_string(meas_.tenants.size()));
+        }
+        for (TenantCounters &tc : meas_.tenants) {
+            tc.memReads = r.u64();
+            tc.fastWrites = r.u64();
+            tc.slowWrites = r.u64();
+            tc.fastRefreshes = r.u64();
+            tc.slowRefreshes = r.u64();
+        }
+        for (std::uint64_t &n : tenantRefreshOutstanding_)
+            n = r.u64();
         r.expectDone();
     }
 }

@@ -1,19 +1,98 @@
 /**
  * @file
- * Workload table implementation.
+ * Workload table and mix-spec grammar implementation.
  */
 
 #include "workload.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
 
 #include "common/logging.hh"
 
 namespace rrm::trace
 {
 
+namespace
+{
+
+/** Case-insensitive ASCII string equality. */
+bool
+equalsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Case-insensitive benchmark lookup; false when unknown. */
+bool
+findBenchmark(const std::string &name, Benchmark &out)
+{
+    for (Benchmark b : allBenchmarks) {
+        if (equalsIgnoreCase(benchmarkName(b), name)) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Split `s` on commas, keeping empty fields (they are errors). */
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::stringstream ss(s);
+    while (std::getline(ss, field, ','))
+        out.push_back(field);
+    if (!s.empty() && s.back() == ',')
+        out.emplace_back();
+    return out;
+}
+
+/** Parse a strictly-decimal non-negative integer; false on junk. */
+bool
+parseUint(const std::string &s, unsigned long &out)
+{
+    if (s.empty())
+        return false;
+    for (const char ch : s) {
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            return false;
+    }
+    out = std::strtoul(s.c_str(), nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+unsigned
+Workload::numTenants() const
+{
+    if (tenantOf.empty())
+        return perCore.empty() ? 0u : 1u;
+    unsigned max_id = 0;
+    for (const unsigned t : tenantOf)
+        max_id = std::max(max_id, t);
+    return max_id + 1;
+}
+
 Workload
 singleWorkload(Benchmark b)
 {
-    return Workload{std::string(benchmarkName(b)), {b, b, b, b}};
+    return Workload{std::string(benchmarkName(b)),
+                    {b, b, b, b},
+                    {}};
 }
 
 Workload
@@ -21,7 +100,8 @@ mix1Workload()
 {
     return Workload{"MIX_1",
                     {Benchmark::Mcf, Benchmark::Bwaves, Benchmark::Zeusmp,
-                     Benchmark::Milc}};
+                     Benchmark::Milc},
+                    {}};
 }
 
 Workload
@@ -29,7 +109,8 @@ mix2Workload()
 {
     return Workload{"MIX_2",
                     {Benchmark::GemsFDTD, Benchmark::Libquantum,
-                     Benchmark::Lbm, Benchmark::Leslie3d}};
+                     Benchmark::Lbm, Benchmark::Leslie3d},
+                    {}};
 }
 
 std::vector<Workload>
@@ -50,6 +131,148 @@ workloadFromName(const std::string &name)
         if (w.name == name)
             return w;
     fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+parseWorkloadSpec(const std::string &mix, const std::string &tenants,
+                  Workload &out)
+{
+    std::vector<std::string> errors;
+    out = Workload{};
+
+    if (mix.empty()) {
+        errors.push_back("mix spec is empty");
+        return errors;
+    }
+    for (const std::string &entry : splitCommas(mix)) {
+        if (entry.empty()) {
+            errors.push_back("mix spec has an empty entry");
+            continue;
+        }
+        std::string bench_name = entry;
+        unsigned long count = 1;
+        const std::size_t colon = entry.find(':');
+        if (colon != std::string::npos) {
+            bench_name = entry.substr(0, colon);
+            const std::string count_str = entry.substr(colon + 1);
+            if (!parseUint(count_str, count)) {
+                errors.push_back("mix entry '" + entry +
+                                 "' has a malformed count '" +
+                                 count_str + "'");
+                continue;
+            }
+            if (count == 0) {
+                errors.push_back("mix entry '" + entry +
+                                 "' asks for zero cores");
+                continue;
+            }
+        }
+        Benchmark b{};
+        if (!findBenchmark(bench_name, b)) {
+            errors.push_back("mix entry '" + entry +
+                             "' names unknown benchmark '" +
+                             bench_name + "'");
+            continue;
+        }
+        for (unsigned long i = 0; i < count; ++i)
+            out.perCore.push_back(b);
+    }
+    if (errors.empty() && out.perCore.empty())
+        errors.push_back("mix spec selects zero cores");
+
+    if (!tenants.empty()) {
+        for (const std::string &field : splitCommas(tenants)) {
+            unsigned long id = 0;
+            if (!parseUint(field, id)) {
+                errors.push_back("tenant spec has malformed id '" +
+                                 field + "' (want a decimal integer)");
+                continue;
+            }
+            out.tenantOf.push_back(static_cast<unsigned>(id));
+        }
+    }
+
+    if (errors.empty()) {
+        collectTenantErrors(out, errors);
+        out.name = mixSpecOf(out);
+    }
+    return errors;
+}
+
+Workload
+workloadFromSpec(const std::string &mix, const std::string &tenants)
+{
+    Workload w;
+    const std::vector<std::string> errors =
+        parseWorkloadSpec(mix, tenants, w);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += (joined.empty() ? "" : "; ") + e;
+        fatal("invalid workload spec '", mix, "' (", errors.size(),
+              " problem(s)): ", joined);
+    }
+    return w;
+}
+
+std::string
+mixSpecOf(const Workload &w)
+{
+    std::string spec;
+    std::size_t i = 0;
+    while (i < w.perCore.size()) {
+        std::size_t run = 1;
+        while (i + run < w.perCore.size() &&
+               w.perCore[i + run] == w.perCore[i]) {
+            ++run;
+        }
+        if (!spec.empty())
+            spec += ',';
+        spec += std::string(benchmarkName(w.perCore[i]));
+        if (run > 1)
+            spec += ':' + std::to_string(run);
+        i += run;
+    }
+    return spec;
+}
+
+std::string
+tenantSpecOf(const Workload &w)
+{
+    if (!w.multiTenant())
+        return "";
+    std::string spec;
+    for (std::size_t c = 0; c < w.numCores(); ++c) {
+        if (!spec.empty())
+            spec += ',';
+        spec += std::to_string(w.tenantOfCore(c));
+    }
+    return spec;
+}
+
+void
+collectTenantErrors(const Workload &w, std::vector<std::string> &errors)
+{
+    if (w.tenantOf.empty())
+        return;
+    if (w.tenantOf.size() != w.perCore.size()) {
+        errors.push_back(
+            "tenant spec names " + std::to_string(w.tenantOf.size()) +
+            " cores but the mix has " + std::to_string(w.perCore.size()));
+        return;
+    }
+    const unsigned num = w.numTenants();
+    std::vector<bool> used(num, false);
+    for (const unsigned t : w.tenantOf)
+        used[t] = true;
+    for (unsigned t = 0; t < num; ++t) {
+        if (!used[t]) {
+            errors.push_back("tenant ids must be contiguous from 0: id " +
+                             std::to_string(t) + " is unused but id " +
+                             std::to_string(num - 1) + " appears");
+            return;
+        }
+    }
 }
 
 } // namespace rrm::trace

@@ -39,8 +39,10 @@ TEST(PolicyFactory, StaticSchemeMakesStaticPolicy)
 {
     EventQueue queue;
     const policy::AdaptiveRrmConfig acfg;
+    const policy::TenantQosConfig qcfg;
+    const policy::TenantLayout layout;
     auto p = sys::Scheme::staticScheme(pcm::WriteMode::Sets5)
-                 .makePolicy(smallRrmConfig(), acfg, queue);
+                 .makePolicy(smallRrmConfig(), acfg, qcfg, layout, queue);
     ASSERT_TRUE(p);
     EXPECT_EQ(p->kindName(), "static");
     EXPECT_EQ(p->writeModeFor(0x1000), pcm::WriteMode::Sets5);
@@ -56,8 +58,12 @@ TEST(PolicyFactory, RrmSchemeMakesRrmPolicy)
 {
     EventQueue queue;
     const policy::AdaptiveRrmConfig acfg;
+    const policy::TenantQosConfig qcfg;
+    const policy::TenantLayout layout;
     const monitor::RrmConfig cfg = smallRrmConfig();
-    auto p = sys::Scheme::rrmScheme().makePolicy(cfg, acfg, queue);
+    auto p =
+        sys::Scheme::rrmScheme().makePolicy(cfg, acfg, qcfg, layout,
+                                            queue);
     ASSERT_TRUE(p);
     EXPECT_EQ(p->kindName(), "rrm");
     ASSERT_NE(p->monitor(), nullptr);
@@ -72,8 +78,10 @@ TEST(PolicyFactory, AdaptiveSchemeMakesAdaptivePolicy)
 {
     EventQueue queue;
     const policy::AdaptiveRrmConfig acfg;
+    const policy::TenantQosConfig qcfg;
+    const policy::TenantLayout layout;
     auto p = sys::Scheme::adaptiveRrmScheme().makePolicy(
-        smallRrmConfig(), acfg, queue);
+        smallRrmConfig(), acfg, qcfg, layout, queue);
     ASSERT_TRUE(p);
     EXPECT_EQ(p->kindName(), "adaptive-rrm");
     EXPECT_NE(p->monitor(), nullptr);
@@ -83,9 +91,11 @@ TEST(PolicyFactory, AdaptiveSchemeMakesAdaptivePolicy)
 TEST(PolicyFactory, EverySchemeBuildsAPolicy)
 {
     const policy::AdaptiveRrmConfig acfg;
+    const policy::TenantQosConfig qcfg;
+    const policy::TenantLayout layout;
     for (const sys::Scheme &s : sys::allSchemes()) {
         EventQueue queue;
-        auto p = s.makePolicy(smallRrmConfig(), acfg, queue);
+        auto p = s.makePolicy(smallRrmConfig(), acfg, qcfg, layout, queue);
         ASSERT_TRUE(p) << s.name();
         EXPECT_EQ(s.usesMonitor(), p->monitor() != nullptr) << s.name();
     }

@@ -55,11 +55,21 @@ TEST(Scheme, StaticSchemesExcludeRrm)
         EXPECT_EQ(s.kind, SchemeKind::Static);
 }
 
-TEST(Scheme, AllSchemesAppendAdaptiveRrm)
+TEST(Scheme, AllSchemesAppendAdaptiveRrmAndRrmQos)
 {
     const auto all = allSchemes();
-    ASSERT_EQ(all.size(), allPaperSchemes().size() + 1);
-    EXPECT_EQ(all.back().name(), "Adaptive-RRM");
+    ASSERT_EQ(all.size(), allPaperSchemes().size() + 2);
+    EXPECT_EQ(all[all.size() - 2].name(), "Adaptive-RRM");
+    EXPECT_EQ(all.back().name(), "RRM-QoS");
+}
+
+TEST(Scheme, RrmQosSchemeProperties)
+{
+    const Scheme s = Scheme::rrmQosScheme();
+    EXPECT_EQ(s.name(), "RRM-QoS");
+    EXPECT_TRUE(s.usesMonitor());
+    EXPECT_EQ(s.globalRefreshMode(), pcm::WriteMode::Sets7);
+    EXPECT_EQ(parseScheme("rrm-qos"), s);
 }
 
 TEST(Scheme, ParseSchemeRoundTripsEveryScheme)

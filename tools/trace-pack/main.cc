@@ -81,7 +81,7 @@ cmdPack(const std::vector<std::string> &args)
         // Same chain as System::buildCores: one master Random, one
         // next() per core, in core order.
         Random seeder(seed);
-        for (unsigned c = 0; c < trace::workloadCores; ++c) {
+        for (std::size_t c = 0; c < w.numCores(); ++c) {
             const auto &profile = trace::benchmarkProfile(w.perCore[c]);
             const std::uint64_t coreSeed = seeder.next();
             trace::TraceGenerator gen(profile, coreSeed);
